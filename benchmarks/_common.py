@@ -1,0 +1,101 @@
+"""Shared workload definitions for the benchmark harness.
+
+`TABLE1_ROWS` mirrors the paper's Table I benchmark list: circuit family,
+qubit count and number of inserted noises.  Noise is the paper's
+depolarising channel with p = 0.999, inserted at seeded-random positions
+so every run regenerates the identical workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.circuits import QuantumCircuit
+from repro.library import (
+    bernstein_vazirani,
+    grover,
+    mod_mult_7x15,
+    qft,
+    quantum_volume,
+    randomized_benchmarking,
+)
+from repro.noise import depolarizing, insert_random_noise
+
+#: The paper's noise parameter ("state-of-the-art design technology").
+NOISE_P = 0.999
+
+#: Seed used for all random noise placements.
+NOISE_SEED = 2021
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One Table I row: a named ideal circuit plus a noise count."""
+
+    name: str
+    build: Callable[[], QuantumCircuit]
+    num_noises: int
+
+    def ideal(self) -> QuantumCircuit:
+        circuit = self.build()
+        circuit.name = self.name
+        return circuit
+
+    def noisy(self) -> QuantumCircuit:
+        return insert_random_noise(
+            self.ideal(),
+            self.num_noises,
+            channel_factory=lambda: depolarizing(NOISE_P),
+            seed=NOISE_SEED,
+        )
+
+
+#: Rows of the paper's Table I (same circuits, same n and k).
+TABLE1_ROWS = [
+    Workload("rb2", lambda: randomized_benchmarking(2, 6, seed=0), 6),
+    Workload("qft2", lambda: qft(2), 2),
+    Workload("grover3", lambda: grover(3), 4),
+    Workload("qft3", lambda: qft(3), 7),
+    Workload("qv_n3d5", lambda: quantum_volume(3, 5, seed=0), 2),
+    Workload("bv4", lambda: bernstein_vazirani(4), 7),
+    Workload("7x1mod15", lambda: mod_mult_7x15(), 3),
+    Workload("bv5", lambda: bernstein_vazirani(5), 6),
+    Workload("qft5", lambda: qft(5), 3),
+    Workload("qv_n5d5", lambda: quantum_volume(5, 5, seed=0), 3),
+    Workload("bv6", lambda: bernstein_vazirani(6), 14),
+    Workload("qv_n6d5", lambda: quantum_volume(6, 5, seed=0), 1),
+    Workload("qft7", lambda: qft(7), 6),
+    Workload("qv_n7d5", lambda: quantum_volume(7, 5, seed=0), 2),
+    Workload("bv9", lambda: bernstein_vazirani(9), 6),
+    Workload("qv_n9d5", lambda: quantum_volume(9, 5, seed=0), 3),
+    Workload("qft9", lambda: qft(9), 2),
+    Workload("qft10", lambda: qft(10), 2),
+    Workload("bv13", lambda: bernstein_vazirani(13), 4),
+    Workload("bv14", lambda: bernstein_vazirani(14), 4),
+    Workload("bv16", lambda: bernstein_vazirani(16), 9),
+]
+
+TABLE1_BY_NAME = {w.name: w for w in TABLE1_ROWS}
+
+
+def fig7_workloads():
+    """Fig. 7 sweep: bv3-5 and qft3-5 with 1..8 noises."""
+    families = {
+        "bv3": lambda: bernstein_vazirani(3),
+        "bv4": lambda: bernstein_vazirani(4),
+        "bv5": lambda: bernstein_vazirani(5),
+        "qft3": lambda: qft(3),
+        "qft4": lambda: qft(4),
+        "qft5": lambda: qft(5),
+    }
+    return families
+
+
+def table2_workloads():
+    """Table II sweep: bv3-5 with 1..8 noises (Alg I computed-table study)."""
+    return {
+        "bv3": lambda: bernstein_vazirani(3),
+        "bv4": lambda: bernstein_vazirani(4),
+        "bv5": lambda: bernstein_vazirani(5),
+    }

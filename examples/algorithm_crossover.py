@@ -1,0 +1,43 @@
+"""Explore the Alg I / Alg II crossover (the paper's Fig. 7 story).
+
+Algorithm I contracts one small network per Kraus selection (4^k terms
+for k depolarising noises); Algorithm II contracts a single network of
+twice the width.  With few noises Alg I wins; as noises accumulate,
+Alg II takes over.  This example measures both on a QFT and prints the
+ratio, plus the early-termination shortcut that rescues Alg I when you
+only need a verdict rather than the exact fidelity.
+
+Run: ``python examples/algorithm_crossover.py``
+"""
+
+import math
+
+from repro import fidelity_collective, fidelity_individual, insert_random_noise, qft
+
+
+def main() -> None:
+    ideal = qft(4)
+    print(f"circuit: {ideal}\n")
+    print(f"{'k':>3} {'t1: Alg I (s)':>14} {'t2: Alg II (s)':>15} "
+          f"{'log10(t1/t2)':>13} {'Alg I w/ eps (s)':>17}")
+
+    for k in range(1, 5):
+        noisy = insert_random_noise(ideal, k, seed=k)
+        r1 = fidelity_individual(noisy, ideal)
+        r2 = fidelity_collective(noisy, ideal)
+        # With an epsilon the dominant-first enumeration certifies
+        # equivalence after a single term.
+        r1_eps = fidelity_individual(noisy, ideal, epsilon=0.05)
+        t1, t2 = r1.stats.time_seconds, r2.stats.time_seconds
+        print(f"{k:>3} {t1:>14.3f} {t2:>15.3f} "
+              f"{math.log10(t1 / t2):>13.2f} "
+              f"{r1_eps.stats.time_seconds:>17.4f}")
+        assert abs(r1.fidelity - r2.fidelity) < 1e-8
+
+    print("\nAs k grows, Alg I's 4^k terms dominate (log ratio climbs "
+          "linearly) while Alg II stays flat — but with an epsilon, "
+          "Alg I's first term usually settles the question instantly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""How different physical noise types degrade a Grover search.
+
+Uses the full channel zoo — bit flip, phase flip, bit-phase flip,
+depolarising, amplitude damping, phase damping — attached after every
+gate of a 3-qubit Grover circuit, and compares the resulting
+Jamiolkowski fidelities at equal "strength".  Depolarising is the
+harshest (it randomises in all three Pauli axes); dephasing-type noise
+is gentler on this circuit.
+
+Run: ``python examples/compare_noise_channels.py``
+"""
+
+from repro import (
+    NoiseModel,
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    depolarizing,
+    fidelity_collective,
+    grover,
+    phase_damping,
+    phase_flip,
+)
+
+STRENGTH = 0.01  # flip/decay probability per gate
+
+CHANNELS = {
+    "bit flip": lambda: bit_flip(1 - STRENGTH),
+    "phase flip": lambda: phase_flip(1 - STRENGTH),
+    "bit-phase flip": lambda: bit_phase_flip(1 - STRENGTH),
+    "depolarizing": lambda: depolarizing(1 - STRENGTH),
+    "amplitude damping": lambda: amplitude_damping(STRENGTH),
+    "phase damping": lambda: phase_damping(STRENGTH),
+}
+
+
+def main() -> None:
+    ideal = grover(3)
+    print(f"circuit: {ideal} | per-gate noise strength {STRENGTH}\n")
+    print(f"{'channel':<18} {'noise sites':>12} {'F_J':>10} {'time (s)':>9}")
+
+    rows = []
+    for name, factory in CHANNELS.items():
+        noisy = NoiseModel().set_default_error(factory).apply(ideal)
+        result = fidelity_collective(noisy, ideal)
+        rows.append((name, noisy.num_noise_sites, result))
+        print(f"{name:<18} {noisy.num_noise_sites:>12} "
+              f"{result.fidelity:>10.6f} "
+              f"{result.stats.time_seconds:>9.3f}")
+
+    worst = min(rows, key=lambda r: r[2].fidelity)
+    best = max(rows, key=lambda r: r[2].fidelity)
+    print(f"\nharshest: {worst[0]} (F_J = {worst[2].fidelity:.6f}); "
+          f"gentlest: {best[0]} (F_J = {best[2].fidelity:.6f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Sampled fidelity estimation (the paper's proposed future work).
+
+When a circuit carries too many noise sites for Algorithm I's exact
+enumeration and you want error bars rather than a single contraction,
+`fidelity_sampled` importance-samples Kraus selections (valid for
+mixed-unitary noise such as the depolarising channel) and reports a
+Hoeffding confidence interval.
+
+This example compares the estimate against Algorithm II's exact value on
+a 4-qubit QFT with 6 noise sites (4^6 = 4096 exact terms).
+
+Run: ``python examples/sampled_fidelity.py``
+"""
+
+from repro import fidelity_collective, insert_random_noise, qft
+from repro.core import fidelity_sampled
+
+
+def main() -> None:
+    ideal = qft(4)
+    noisy = insert_random_noise(ideal, 6, seed=11)
+    exact = fidelity_collective(noisy, ideal)
+    print(f"circuit         : {noisy}")
+    print(f"exact F_J (AlgII): {exact.fidelity:.6f} "
+          f"({exact.stats.time_seconds:.3f} s)\n")
+
+    print(f"{'samples':>8} {'estimate':>10} {'95% interval':>22} "
+          f"{'covers exact':>13} {'time (s)':>9}")
+    for m in (25, 100, 400):
+        result = fidelity_sampled(
+            noisy, ideal, num_samples=m, confidence_level=0.95, seed=2
+        )
+        covers = result.lower <= exact.fidelity <= result.upper
+        print(f"{m:>8} {result.estimate:>10.6f} "
+              f"[{result.lower:.4f}, {result.upper:.4f}]".ljust(44)
+              + f"{str(covers):>13} {result.stats.time_seconds:>9.3f}")
+
+    print("\nThe interval shrinks as 1/sqrt(m); at NISQ noise rates the "
+          "dominant identity selection appears in almost every sample, so "
+          "the estimator concentrates quickly.")
+
+
+if __name__ == "__main__":
+    main()

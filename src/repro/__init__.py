@@ -1,0 +1,99 @@
+"""repro — Approximate Equivalence Checking of Noisy Quantum Circuits.
+
+A from-scratch reproduction of Hong, Ying, Feng, Zhou & Li (DAC 2021):
+Jamiolkowski-fidelity-based approximate equivalence checking of noisy
+quantum circuits via tensor-network contraction on Tensor Decision
+Diagrams, with the dense Qiskit-style ``process_fidelity`` baseline.
+
+Quick start
+-----------
+>>> from repro import qft, insert_random_noise, EquivalenceChecker
+>>> ideal = qft(5)
+>>> noisy = insert_random_noise(ideal, num_noises=3, seed=7)
+>>> result = EquivalenceChecker(epsilon=0.01).check(ideal, noisy)
+>>> result.equivalent
+True
+"""
+
+from .baseline import (
+    MemoryLimitExceeded,
+    Operator,
+    SuperOp,
+    average_gate_fidelity,
+    process_fidelity,
+)
+from .circuits import QuantumCircuit
+from .core import (
+    CheckResult,
+    EquivalenceChecker,
+    FidelityResult,
+    approx_equivalent,
+    average_fidelity_from_jamiolkowski,
+    fidelity_collective,
+    fidelity_individual,
+    jamiolkowski_distance,
+    jamiolkowski_fidelity,
+    jamiolkowski_fidelity_dense,
+)
+from .gates import Gate
+from .library import (
+    bernstein_vazirani,
+    grover,
+    mod_mult_7x15,
+    qft,
+    quantum_volume,
+    randomized_benchmarking,
+)
+from .noise import (
+    KrausChannel,
+    NoiseModel,
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    depolarizing,
+    insert_random_noise,
+    pauli_channel,
+    phase_damping,
+    phase_flip,
+)
+from .tdd import Tdd, TddManager
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CheckResult",
+    "EquivalenceChecker",
+    "FidelityResult",
+    "Gate",
+    "KrausChannel",
+    "MemoryLimitExceeded",
+    "NoiseModel",
+    "Operator",
+    "QuantumCircuit",
+    "SuperOp",
+    "Tdd",
+    "TddManager",
+    "amplitude_damping",
+    "approx_equivalent",
+    "average_fidelity_from_jamiolkowski",
+    "average_gate_fidelity",
+    "bernstein_vazirani",
+    "bit_flip",
+    "bit_phase_flip",
+    "depolarizing",
+    "fidelity_collective",
+    "fidelity_individual",
+    "grover",
+    "insert_random_noise",
+    "jamiolkowski_distance",
+    "jamiolkowski_fidelity",
+    "jamiolkowski_fidelity_dense",
+    "mod_mult_7x15",
+    "pauli_channel",
+    "phase_damping",
+    "phase_flip",
+    "process_fidelity",
+    "qft",
+    "quantum_volume",
+    "randomized_benchmarking",
+]

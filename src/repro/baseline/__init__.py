@@ -1,0 +1,25 @@
+"""Dense Qiskit-style baseline: Operator, SuperOp, process_fidelity."""
+
+from .fidelity import (
+    average_gate_fidelity,
+    process_fidelity,
+    process_fidelity_choi,
+)
+from .operator import Operator
+from .superop import (
+    PAPER_MEMORY_BYTES,
+    MemoryLimitExceeded,
+    SuperOp,
+    estimate_superop_bytes,
+)
+
+__all__ = [
+    "MemoryLimitExceeded",
+    "Operator",
+    "PAPER_MEMORY_BYTES",
+    "SuperOp",
+    "average_gate_fidelity",
+    "estimate_superop_bytes",
+    "process_fidelity",
+    "process_fidelity_choi",
+]

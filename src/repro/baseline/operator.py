@@ -1,0 +1,58 @@
+"""Dense ``Operator``: the Qiskit-style unitary wrapper of the baseline.
+
+The baseline mimics Qiskit's quantum-information module closely enough to
+play its role in the paper's Table I: circuits are flattened to explicit
+``2^n x 2^n`` (``Operator``) or ``4^n x 4^n`` (``SuperOp``) matrices, and
+``process_fidelity`` works on those dense objects.  All the scalability
+cliffs the paper reports against come from exactly this representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..linalg import COMPLEX, dagger, is_unitary
+
+
+class Operator:
+    """A dense unitary operator on ``n`` qubits."""
+
+    def __init__(self, data):
+        if isinstance(data, QuantumCircuit):
+            matrix = data.to_matrix()
+        else:
+            matrix = np.asarray(data, dtype=COMPLEX)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"operator must be square, got {matrix.shape}")
+        self.data = matrix
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension."""
+        return self.data.shape[0]
+
+    def is_unitary(self, atol: float = 1e-8) -> bool:
+        """Unitarity check."""
+        return is_unitary(self.data, atol=atol)
+
+    def adjoint(self) -> "Operator":
+        """Hermitian conjugate."""
+        return Operator(dagger(self.data))
+
+    def compose(self, other: "Operator") -> "Operator":
+        """``other`` after ``self``."""
+        return Operator(other.data @ self.data)
+
+    def tensor(self, other: "Operator") -> "Operator":
+        """Kronecker product."""
+        return Operator(np.kron(self.data, other.data))
+
+    def equiv(self, other: "Operator", atol: float = 1e-8) -> bool:
+        """Equality up to global phase."""
+        from ..linalg import allclose_up_to_global_phase
+
+        return allclose_up_to_global_phase(self.data, other.data, atol=atol)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Operator(dim={self.dim})"

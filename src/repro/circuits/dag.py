@@ -1,0 +1,80 @@
+"""A light DAG view over a circuit.
+
+Nodes are instruction indices; edges follow each qubit wire from one
+instruction to the next one touching that wire.  The optimisation passes in
+:mod:`repro.circuits.passes` use this to find adjacent-on-all-wires gate
+pairs, and the tensor-network converter uses it for wire bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .circuit import QuantumCircuit
+
+
+@dataclass
+class DagNode:
+    """One instruction in the DAG with per-qubit neighbours."""
+
+    index: int
+    #: qubit -> index of the previous instruction on that wire (or None)
+    predecessors: Dict[int, Optional[int]] = field(default_factory=dict)
+    #: qubit -> index of the next instruction on that wire (or None)
+    successors: Dict[int, Optional[int]] = field(default_factory=dict)
+
+
+class CircuitDag:
+    """Wire-following DAG of a :class:`QuantumCircuit`."""
+
+    def __init__(self, circuit: QuantumCircuit):
+        self.circuit = circuit
+        self.nodes: List[DagNode] = []
+        last_on_wire: Dict[int, int] = {}
+        for idx, inst in enumerate(circuit):
+            node = DagNode(idx)
+            for q in inst.qubits:
+                prev = last_on_wire.get(q)
+                node.predecessors[q] = prev
+                if prev is not None:
+                    self.nodes[prev].successors[q] = idx
+                last_on_wire[q] = idx
+            node.successors = {q: None for q in inst.qubits}
+            self.nodes.append(node)
+        #: qubit -> last instruction index on that wire (circuit outputs)
+        self.last_on_wire = last_on_wire
+
+    def adjacent_pairs(self) -> List[Tuple[int, int]]:
+        """Pairs (i, j) where j directly follows i on *every* shared wire.
+
+        These are the candidates for local gate cancellation: if the two
+        operations act on identical qubit tuples and multiply to identity,
+        both can be removed without changing the circuit's functionality.
+        """
+        pairs = []
+        for node in self.nodes:
+            succs = set(node.successors.values())
+            if len(succs) == 1:
+                (j,) = succs
+                if j is None:
+                    continue
+                inst_i = self.circuit[node.index]
+                inst_j = self.circuit[j]
+                if inst_i.qubits == inst_j.qubits:
+                    pairs.append((node.index, j))
+        return pairs
+
+    def topological_layers(self) -> List[List[int]]:
+        """Instruction indices grouped into dependency layers (moments)."""
+        level: Dict[int, int] = {}
+        layers: List[List[int]] = []
+        for idx, inst in enumerate(self.circuit):
+            node = self.nodes[idx]
+            parents = [p for p in node.predecessors.values() if p is not None]
+            lvl = 1 + max((level[p] for p in parents), default=-1)
+            level[idx] = lvl
+            while len(layers) <= lvl:
+                layers.append([])
+            layers[lvl].append(idx)
+        return layers

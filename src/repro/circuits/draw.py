@@ -1,0 +1,66 @@
+"""Plain-text circuit drawing.
+
+One column per instruction, one row per qubit.  Controlled gates with a
+conventional symbol get control dots and target markers; everything else
+(including noise channels) is drawn as a labelled box on each qubit it
+touches, with vertical connectors across intermediate wires.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .circuit import QuantumCircuit
+
+#: Per-qubit symbols for gates with conventional drawings, keyed by name.
+_SYMBOLS = {
+    "cx": ["●", "X"],
+    "cz": ["●", "●"],
+    "cs": ["●", "S"],
+    "cp": ["●", "P"],
+    "swap": ["x", "x"],
+    "ccx": ["●", "●", "X"],
+    "ccz": ["●", "●", "●"],
+    "cswap": ["●", "x", "x"],
+}
+
+
+def _instruction_cells(inst, num_qubits: int) -> List[str]:
+    """Cell text per qubit row for one instruction ('' = plain wire)."""
+    cells = [""] * num_qubits
+    symbols = _SYMBOLS.get(inst.name) if inst.is_unitary else None
+    if symbols is not None and len(symbols) == len(inst.qubits):
+        for qubit, symbol in zip(inst.qubits, symbols):
+            cells[qubit] = symbol
+        return cells
+    label = f"~{inst.name}~" if inst.is_noise else inst.name
+    for index, qubit in enumerate(inst.qubits):
+        suffix = f":{index}" if len(inst.qubits) > 1 else ""
+        cells[qubit] = f"[{label}{suffix}]"
+    return cells
+
+
+def draw(circuit: QuantumCircuit) -> str:
+    """Render the circuit as fixed-width text art."""
+    n = circuit.num_qubits
+    rows: List[List[str]] = [[] for _ in range(n)]
+
+    for inst in circuit:
+        cells = _instruction_cells(inst, n)
+        lo, hi = min(inst.qubits), max(inst.qubits)
+        width = max(len(cell) for cell in cells if cell)
+        for q in range(n):
+            if cells[q]:
+                text = cells[q]
+            elif lo < q < hi:
+                text = "│"
+            else:
+                text = ""
+            rows[q].append(text.center(width, "─"))
+
+    label_width = len(f"q{n - 1}")
+    lines = []
+    for q in range(n):
+        prefix = f"q{q}".ljust(label_width) + ": "
+        lines.append(prefix + "─" + "──".join(rows[q]) + "─")
+    return "\n".join(lines)

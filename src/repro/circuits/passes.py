@@ -1,0 +1,108 @@
+"""Local optimisation passes from Sec. IV-C of the paper.
+
+* :func:`cancel_adjacent_gates` removes neighbouring gate pairs whose
+  product is the identity (e.g. H·H, S·S†, CX·CX).  In approximate
+  equivalence checking the miter ``U† E`` shares most unitary gates between
+  the two halves, so this fires a lot.
+* :func:`eliminate_final_swaps` removes trailing SWAP gates and returns the
+  output permutation they implement; when computing ``tr(...)`` the trace
+  closure simply reconnects inputs to the permuted outputs instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..linalg import ATOL
+from .circuit import QuantumCircuit
+from .dag import CircuitDag
+
+
+def cancel_adjacent_gates(
+    circuit: QuantumCircuit, atol: float = ATOL, max_rounds: int = 10_000
+) -> QuantumCircuit:
+    """Iteratively remove adjacent mutually-inverse unitary gate pairs.
+
+    Only pairs acting on *identical* qubit tuples with no interposing
+    operation on any shared wire are candidates, so the transformation is
+    exactly functionality-preserving (noise channels are never touched and
+    act as barriers).
+    """
+    current = circuit
+    for _ in range(max_rounds):
+        dag = CircuitDag(current)
+        to_remove: set = set()
+        for i, j in dag.adjacent_pairs():
+            if i in to_remove or j in to_remove:
+                continue
+            inst_i, inst_j = current[i], current[j]
+            if not (inst_i.is_unitary and inst_j.is_unitary):
+                continue
+            product = inst_j.operation.matrix @ inst_i.operation.matrix
+            if np.allclose(product, np.eye(product.shape[0]), atol=atol):
+                to_remove.update((i, j))
+        if not to_remove:
+            return current
+        out = QuantumCircuit(current.num_qubits, current.name)
+        for idx, inst in enumerate(current):
+            if idx not in to_remove:
+                out.append(inst.operation, inst.qubits)
+        current = out
+    return current
+
+
+def eliminate_final_swaps(
+    circuit: QuantumCircuit,
+) -> Tuple[QuantumCircuit, List[int]]:
+    """Strip trailing SWAP gates, returning (circuit', permutation).
+
+    The original circuit equals ``P @ circuit'`` where ``P`` is the
+    permutation unitary sending basis state bit ``q`` to bit ``perm[q]``.
+    A SWAP is "trailing" when no other operation follows it on either wire.
+
+    The returned ``perm`` satisfies: output wire ``q`` of ``circuit'``
+    becomes output wire ``perm[q]`` of the original circuit.
+    """
+    remaining = list(circuit.instructions)
+    perm = list(range(circuit.num_qubits))
+    changed = True
+    while changed:
+        changed = False
+        busy = set()
+        for idx in range(len(remaining) - 1, -1, -1):
+            inst = remaining[idx]
+            if inst.name == "swap" and not busy.intersection(inst.qubits):
+                a, b = inst.qubits
+                # The swap routes wire a's output to position b and vice
+                # versa; compose onto the running permutation.
+                perm[a], perm[b] = perm[b], perm[a]
+                del remaining[idx]
+                changed = True
+                break
+            busy.update(inst.qubits)
+    out = QuantumCircuit(circuit.num_qubits, f"{circuit.name}_noswap")
+    for inst in remaining:
+        out.append(inst.operation, inst.qubits)
+    return out, perm
+
+
+def permutation_matrix(perm: List[int]) -> np.ndarray:
+    """Dense unitary of a qubit-wire permutation (for validation/tests).
+
+    ``perm[q]`` is the wire that qubit ``q``'s state is routed to.
+    """
+    n = len(perm)
+    dim = 2**n
+    mat = np.zeros((dim, dim))
+    for src in range(dim):
+        bits = [(src >> (n - 1 - q)) & 1 for q in range(n)]
+        dst_bits = [0] * n
+        for q in range(n):
+            dst_bits[perm[q]] = bits[q]
+        dst = 0
+        for bit in dst_bits:
+            dst = (dst << 1) | bit
+        mat[dst, src] = 1.0
+    return mat

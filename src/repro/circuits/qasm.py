@@ -1,0 +1,136 @@
+"""A minimal OpenQASM 2 reader and writer.
+
+Supports the subset needed by the paper's benchmark circuits: a single
+quantum register, the fixed and parametric gates from the standard zoo, and
+arithmetic parameter expressions involving ``pi``.  Noise channels have no
+QASM form; writing a noisy circuit raises.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import operator
+import re
+from typing import List
+
+from ..gates import FIXED_GATES, PARAMETRIC_GATES
+from .circuit import QuantumCircuit
+
+_HEADER_RE = re.compile(r"OPENQASM\s+2(\.\d+)?\s*;")
+_QREG_RE = re.compile(r"qreg\s+(\w+)\s*\[\s*(\d+)\s*\]\s*;")
+_GATE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_]\w*)\s*(\((?P<params>.*)\))?\s+(?P<args>.+)$"
+)
+_ARG_RE = re.compile(r"(\w+)\s*\[\s*(\d+)\s*\]")
+
+_BINOPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.Pow: operator.pow,
+}
+_UNARYOPS = {ast.UAdd: operator.pos, ast.USub: operator.neg}
+
+
+def _eval_param(expr: str) -> float:
+    """Safely evaluate a QASM parameter expression like ``-pi/4``."""
+    try:
+        tree = ast.parse(expr.strip(), mode="eval")
+    except SyntaxError as exc:
+        raise ValueError(f"invalid parameter expression: {expr!r}") from exc
+
+    def walk(node):
+        if isinstance(node, ast.Expression):
+            return walk(node.body)
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            return float(node.value)
+        if isinstance(node, ast.Name) and node.id == "pi":
+            return math.pi
+        if isinstance(node, ast.BinOp) and type(node.op) in _BINOPS:
+            return _BINOPS[type(node.op)](walk(node.left), walk(node.right))
+        if isinstance(node, ast.UnaryOp) and type(node.op) in _UNARYOPS:
+            return _UNARYOPS[type(node.op)](walk(node.operand))
+        raise ValueError(f"unsupported parameter expression: {expr!r}")
+
+    return walk(tree)
+
+
+def loads(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2 source into a :class:`QuantumCircuit`."""
+    lines: List[str] = []
+    for raw in text.splitlines():
+        line = raw.split("//", 1)[0].strip()
+        if line:
+            lines.append(line)
+    body = " ".join(lines)
+    if not _HEADER_RE.search(body):
+        raise ValueError("missing 'OPENQASM 2.0;' header")
+    qreg = _QREG_RE.search(body)
+    if qreg is None:
+        raise ValueError("missing qreg declaration")
+    reg_name, size = qreg.group(1), int(qreg.group(2))
+    circuit = QuantumCircuit(size, name=reg_name)
+
+    # Strip everything up to and including the qreg declaration; then
+    # process statement by statement.
+    rest = body[qreg.end():]
+    for statement in rest.split(";"):
+        statement = statement.strip()
+        if not statement:
+            continue
+        first_word = statement.split()[0].split("(")[0]
+        if first_word in ("include", "creg", "barrier", "measure", "qreg"):
+            continue
+        match = _GATE_RE.match(statement)
+        if match is None:
+            raise ValueError(f"cannot parse QASM statement: {statement!r}")
+        name = match.group("name")
+        qubits = [int(m.group(2)) for m in _ARG_RE.finditer(match.group("args"))]
+        params_src = match.group("params")
+        if name in FIXED_GATES:
+            if params_src:
+                raise ValueError(f"gate {name!r} takes no parameters")
+            circuit.append(FIXED_GATES[name](), qubits)
+        elif name in PARAMETRIC_GATES:
+            params = [_eval_param(p) for p in (params_src or "").split(",") if p]
+            circuit.append(PARAMETRIC_GATES[name](*params), qubits)
+        elif name == "u3":
+            params = [_eval_param(p) for p in (params_src or "").split(",") if p]
+            circuit.append(PARAMETRIC_GATES["u"](*params), qubits)
+        else:
+            raise ValueError(f"unsupported gate {name!r}")
+    return circuit
+
+
+def dumps(circuit: QuantumCircuit) -> str:
+    """Serialise a noiseless circuit to OpenQASM 2."""
+    out = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    for inst in circuit:
+        if inst.is_noise:
+            raise ValueError("noise channels cannot be serialised to OpenQASM 2")
+        args = ",".join(f"q[{q}]" for q in inst.qubits)
+        op = inst.operation
+        if op.params:
+            params = ",".join(f"{p:.12g}" for p in op.params)
+            out.append(f"{op.name}({params}) {args};")
+        else:
+            out.append(f"{op.name} {args};")
+    return "\n".join(out) + "\n"
+
+
+def load(path) -> QuantumCircuit:
+    """Read a circuit from a ``.qasm`` file."""
+    with open(path) as handle:
+        return loads(handle.read())
+
+
+def dump(circuit: QuantumCircuit, path) -> None:
+    """Write a circuit to a ``.qasm`` file."""
+    with open(path, "w") as handle:
+        handle.write(dumps(circuit))

@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``check``
+    Decide epsilon-equivalence between an ideal OpenQASM 2 circuit and a
+    noisy implementation (either a second QASM file plus a noise model,
+    or random noise injected into the ideal circuit).
+``fidelity``
+    Print the Jamiolkowski fidelity with a chosen algorithm.
+``bench-row``
+    Run one Table I row (handy for quick scalability spot checks).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .circuits import qasm
+from .core import EquivalenceChecker, fidelity_collective, fidelity_individual
+from .noise import (
+    NoiseModel,
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    depolarizing,
+    insert_random_noise,
+    phase_damping,
+    phase_flip,
+)
+
+CHANNELS = {
+    "depolarizing": depolarizing,
+    "bit_flip": bit_flip,
+    "phase_flip": phase_flip,
+    "bit_phase_flip": bit_phase_flip,
+    "amplitude_damping": lambda p: amplitude_damping(1.0 - p),
+    "phase_damping": lambda p: phase_damping(1.0 - p),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Approximate equivalence checking of noisy quantum circuits",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="epsilon-equivalence check")
+    _add_circuit_args(check)
+    check.add_argument(
+        "--epsilon", type=float, default=0.01, help="error threshold"
+    )
+    check.add_argument(
+        "--algorithm", default="auto",
+        choices=["auto", "alg1", "alg2", "dense"],
+    )
+
+    fidelity = sub.add_parser("fidelity", help="compute F_J")
+    _add_circuit_args(fidelity)
+    fidelity.add_argument(
+        "--algorithm", default="alg2", choices=["alg1", "alg2"]
+    )
+
+    return parser
+
+
+def _add_circuit_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("ideal", help="ideal circuit (OpenQASM 2 file)")
+    sub.add_argument(
+        "--noisy", default=None,
+        help="noisy circuit QASM (noise applied on top per --channel)",
+    )
+    sub.add_argument(
+        "--channel", default="depolarizing", choices=sorted(CHANNELS),
+        help="noise channel type",
+    )
+    sub.add_argument(
+        "--p", type=float, default=0.999,
+        help="channel keep-probability (paper convention)",
+    )
+    sub.add_argument(
+        "--noises", type=int, default=None,
+        help="insert this many channels at random positions",
+    )
+    sub.add_argument(
+        "--every-gate", action="store_true",
+        help="attach a channel after every gate instead",
+    )
+    sub.add_argument("--seed", type=int, default=0, help="noise placement seed")
+
+
+def load_noisy(args):
+    """Materialise the (ideal, noisy) pair from CLI arguments."""
+    ideal = qasm.load(args.ideal)
+    base = qasm.load(args.noisy) if args.noisy else ideal
+    factory = lambda: CHANNELS[args.channel](args.p)  # noqa: E731
+    if args.every_gate:
+        noisy = NoiseModel().set_default_error(factory).apply(base)
+    elif args.noises is not None:
+        noisy = insert_random_noise(
+            base, args.noises, channel_factory=factory, seed=args.seed
+        )
+    else:
+        noisy = base
+    return ideal, noisy
+
+
+def cmd_check(args) -> int:
+    ideal, noisy = load_noisy(args)
+    checker = EquivalenceChecker(
+        epsilon=args.epsilon, algorithm=args.algorithm
+    )
+    result = checker.check(ideal, noisy)
+    bound = " (lower bound)" if result.is_lower_bound else ""
+    print(f"algorithm : {result.algorithm}")
+    print(f"fidelity  : {result.fidelity:.6f}{bound}")
+    print(f"epsilon   : {result.epsilon}")
+    print(f"verdict   : {'EQUIVALENT' if result.equivalent else 'NOT EQUIVALENT'}")
+    print(f"time      : {result.stats.time_seconds:.3f} s")
+    if result.note:
+        print(f"note      : {result.note}")
+    return 0 if result.equivalent else 1
+
+
+def cmd_fidelity(args) -> int:
+    ideal, noisy = load_noisy(args)
+    if args.algorithm == "alg1":
+        result = fidelity_individual(noisy, ideal)
+    else:
+        result = fidelity_collective(noisy, ideal)
+    print(f"{result.fidelity:.10f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "check":
+        return cmd_check(args)
+    if args.command == "fidelity":
+        return cmd_fidelity(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

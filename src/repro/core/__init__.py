@@ -1,0 +1,70 @@
+"""The paper's contribution: approximate equivalence checking algorithms."""
+
+from .algorithm1 import enumerate_selections, fidelity_individual
+from .algorithm2 import fidelity_collective
+from .checker import (
+    AUTO_ALG1_MAX_NOISES,
+    EquivalenceChecker,
+    approx_equivalent,
+    jamiolkowski_fidelity,
+)
+from .jamiolkowski import (
+    average_fidelity_from_jamiolkowski,
+    fidelity_from_traces,
+    jamiolkowski_distance,
+    jamiolkowski_fidelity_choi,
+    jamiolkowski_fidelity_circuits,
+    jamiolkowski_fidelity_dense,
+    jamiolkowski_fidelity_kraus,
+)
+from .sampling import (
+    SampledFidelityResult,
+    fidelity_sampled,
+    mixed_unitary_decomposition,
+)
+from .miter import (
+    Alg1Template,
+    alg1_template,
+    alg1_trace_network,
+    alg2_trace_network,
+    double_circuit,
+    lower_kraus_selection,
+    miter_circuit,
+)
+from .stats import CheckResult, FidelityResult, RunStats
+from .unitary_check import (
+    UnitaryCheckResult,
+    check_unitary_equivalence,
+    unitary_equivalent,
+)
+
+__all__ = [
+    "AUTO_ALG1_MAX_NOISES",
+    "CheckResult",
+    "EquivalenceChecker",
+    "FidelityResult",
+    "RunStats",
+    "SampledFidelityResult",
+    "UnitaryCheckResult",
+    "check_unitary_equivalence",
+    "fidelity_sampled",
+    "unitary_equivalent",
+    "jamiolkowski_fidelity_circuits",
+    "mixed_unitary_decomposition",
+    "alg1_trace_network",
+    "alg2_trace_network",
+    "approx_equivalent",
+    "average_fidelity_from_jamiolkowski",
+    "double_circuit",
+    "enumerate_selections",
+    "fidelity_collective",
+    "fidelity_from_traces",
+    "fidelity_individual",
+    "jamiolkowski_distance",
+    "jamiolkowski_fidelity",
+    "jamiolkowski_fidelity_choi",
+    "jamiolkowski_fidelity_dense",
+    "jamiolkowski_fidelity_kraus",
+    "lower_kraus_selection",
+    "miter_circuit",
+]

@@ -1,0 +1,133 @@
+"""The epsilon-equivalence checker (the paper's Problem 1).
+
+Given an ideal circuit ``C`` and a noisy implementation ``N``, decide
+``C ~eps N``, i.e. ``F_J(E_N, U_C) > 1 - eps``.  The checker dispatches
+between the two algorithms:
+
+* few noise sites → Algorithm I with early termination (often a single
+  trace term certifies equivalence);
+* many noise sites → Algorithm II's single collective contraction.
+"""
+
+from __future__ import annotations
+
+from ..circuits import QuantumCircuit
+from .algorithm1 import fidelity_individual
+from .algorithm2 import fidelity_collective
+from .jamiolkowski import jamiolkowski_fidelity_dense
+from .stats import CheckResult, RunStats
+
+#: Noise-site count at or below which 'auto' prefers Algorithm I.  Fig. 7
+#: shows the crossover at roughly one noise for small circuits; we keep a
+#: small margin because early termination usually needs only one term.
+AUTO_ALG1_MAX_NOISES = 2
+
+
+class EquivalenceChecker:
+    """Approximate equivalence checking of noisy quantum circuits."""
+
+    def __init__(
+        self,
+        epsilon: float = 0.01,
+        algorithm: str = "auto",
+        backend: str = "tdd",
+        order_method: str = "tree_decomposition",
+        use_local_optimisations: bool = False,
+        alg1_max_noises: int = AUTO_ALG1_MAX_NOISES,
+    ):
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must lie in [0, 1]")
+        if algorithm not in ("auto", "alg1", "alg2", "dense"):
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        self.epsilon = epsilon
+        self.algorithm = algorithm
+        self.backend = backend
+        self.order_method = order_method
+        self.use_local_optimisations = use_local_optimisations
+        self.alg1_max_noises = alg1_max_noises
+
+    def select_algorithm(self, noisy: QuantumCircuit) -> str:
+        """Resolve 'auto' to a concrete algorithm for this circuit."""
+        if self.algorithm != "auto":
+            return self.algorithm
+        if noisy.num_noise_sites <= self.alg1_max_noises:
+            return "alg1"
+        return "alg2"
+
+    def check(
+        self, ideal: QuantumCircuit, noisy: QuantumCircuit
+    ) -> CheckResult:
+        """Decide ``ideal ~eps noisy``."""
+        if ideal.num_qubits != noisy.num_qubits:
+            raise ValueError("circuits must have the same number of qubits")
+        if not ideal.is_unitary_circuit:
+            raise ValueError("the ideal circuit must be noiseless (unitary)")
+        algorithm = self.select_algorithm(noisy)
+        if algorithm == "alg1":
+            result = fidelity_individual(
+                noisy,
+                ideal,
+                epsilon=self.epsilon,
+                backend=self.backend,
+                order_method=self.order_method,
+                use_local_optimisations=self.use_local_optimisations,
+            )
+        elif algorithm == "alg2":
+            result = fidelity_collective(
+                noisy,
+                ideal,
+                backend=self.backend,
+                order_method=self.order_method,
+                use_local_optimisations=self.use_local_optimisations,
+            )
+        else:
+            fidelity = jamiolkowski_fidelity_dense(noisy, ideal)
+            from .stats import FidelityResult
+
+            result = FidelityResult(
+                fidelity=fidelity, stats=RunStats(algorithm="dense")
+            )
+        equivalent = result.fidelity > 1.0 - self.epsilon
+        note = None
+        if not equivalent and result.is_lower_bound:
+            note = (
+                "fidelity is a truncated lower bound; rerun without early "
+                "termination or term caps for a definitive negative answer"
+            )
+        return CheckResult(
+            equivalent=equivalent,
+            epsilon=self.epsilon,
+            fidelity=result.fidelity,
+            is_lower_bound=result.is_lower_bound,
+            stats=result.stats,
+            algorithm=algorithm,
+            note=note,
+        )
+
+
+def approx_equivalent(
+    ideal: QuantumCircuit,
+    noisy: QuantumCircuit,
+    epsilon: float,
+    algorithm: str = "auto",
+    **kwargs,
+) -> bool:
+    """One-shot convenience wrapper around :class:`EquivalenceChecker`."""
+    checker = EquivalenceChecker(epsilon=epsilon, algorithm=algorithm, **kwargs)
+    return checker.check(ideal, noisy).equivalent
+
+
+def jamiolkowski_fidelity(
+    noisy: QuantumCircuit,
+    ideal: QuantumCircuit,
+    algorithm: str = "alg2",
+    **kwargs,
+) -> float:
+    """Compute ``F_J`` with the chosen algorithm ('alg1', 'alg2', 'dense')."""
+    if algorithm == "alg1":
+        return fidelity_individual(noisy, ideal, **kwargs).fidelity
+    if algorithm == "alg2":
+        return fidelity_collective(noisy, ideal, **kwargs).fidelity
+    if algorithm == "dense":
+        return jamiolkowski_fidelity_dense(noisy, ideal, **kwargs)
+    raise ValueError(f"unknown algorithm {algorithm!r}")

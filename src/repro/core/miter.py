@@ -1,0 +1,198 @@
+"""Miter constructions for trace computation.
+
+The reversible-miter idea (Yamashita & Markov) specialised to the paper's
+two algorithms:
+
+* Algorithm I contracts the miter ``U† E_i`` for every Kraus selection
+  ``E_i``; :func:`lower_kraus_selection` materialises one selection as a
+  plain matrix-gate circuit and :func:`miter_circuit` appends the reversed
+  ideal circuit.
+* Algorithm II contracts a single *doubled* miter where each unitary ``V``
+  is accompanied by ``V*`` on a primed qubit copy and each noise ``N``
+  becomes its matrix representation ``M_N = sum_k N_k (x) N_k*`` spanning
+  both copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits import QuantumCircuit, cancel_adjacent_gates, eliminate_final_swaps
+from ..gates import Gate
+from ..tensornet import TensorNetwork, circuit_to_network, close_trace
+
+
+def lower_kraus_selection(
+    circuit: QuantumCircuit, selection: Sequence[int]
+) -> QuantumCircuit:
+    """Replace each noise channel with one of its Kraus operators.
+
+    ``selection[k]`` picks the Kraus operator of the k-th noise site (in
+    circuit order).  The result contains only matrix gates, so it can be
+    converted to a tensor network directly.
+    """
+    sites = [i for i, inst in enumerate(circuit) if inst.is_noise]
+    if len(selection) != len(sites):
+        raise ValueError(
+            f"selection length {len(selection)} != {len(sites)} noise sites"
+        )
+    lowered = QuantumCircuit(circuit.num_qubits, f"{circuit.name}_sel")
+    site = 0
+    for inst in circuit:
+        if inst.is_noise:
+            ops = inst.operation.kraus_operators
+            j = selection[site]
+            if not 0 <= j < len(ops):
+                raise ValueError(
+                    f"Kraus index {j} out of range at site {site} "
+                    f"({len(ops)} operators)"
+                )
+            lowered.append(Gate(f"kraus{site}.{j}", ops[j]), inst.qubits)
+            site += 1
+        else:
+            lowered.append(inst.operation, inst.qubits)
+    return lowered
+
+
+def miter_circuit(
+    noisy: QuantumCircuit, ideal: QuantumCircuit
+) -> QuantumCircuit:
+    """The circuit ``U† . E`` whose trace Algorithm I needs.
+
+    ``noisy`` may contain channels (they survive into the miter); ``ideal``
+    must be unitary.
+    """
+    if ideal.num_qubits != noisy.num_qubits:
+        raise ValueError("ideal and noisy circuits must have the same width")
+    return noisy.compose(ideal.inverse())
+
+
+def double_circuit(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Algorithm II's doubled circuit on ``2n`` qubits.
+
+    Qubit ``q`` keeps its label; its primed copy is ``q + n``.  Unitary
+    gates get a conjugated twin on the primed copy; each noise channel
+    ``N`` is replaced by the (generally non-unitary) gate ``M_N`` acting on
+    the original qubits followed by their primed copies.
+    """
+    n = circuit.num_qubits
+    doubled = QuantumCircuit(2 * n, f"{circuit.name}_doubled")
+    for inst in circuit:
+        primed = [q + n for q in inst.qubits]
+        if inst.is_noise:
+            channel = inst.operation
+            doubled.append(
+                Gate(f"M[{channel.name}]", channel.matrix_rep()),
+                list(inst.qubits) + primed,
+            )
+        else:
+            gate = inst.operation
+            doubled.append(gate, inst.qubits)
+            doubled.append(gate.conjugate(), primed)
+    return doubled
+
+
+def alg1_trace_network(
+    noisy_selected: QuantumCircuit,
+    ideal: QuantumCircuit,
+    use_local_optimisations: bool = False,
+) -> TensorNetwork:
+    """Closed network whose scalar is ``tr(U† E_i)``.
+
+    With ``use_local_optimisations`` the miter is first simplified by
+    adjacent-gate cancellation and trailing-SWAP elimination (Sec. IV-C);
+    the SWAP permutation is folded into the trace closure.
+    """
+    miter = miter_circuit(noisy_selected, ideal)
+    permutation = None
+    if use_local_optimisations:
+        miter, permutation = eliminate_final_swaps(miter)
+        miter = cancel_adjacent_gates(miter)
+    return close_trace(circuit_to_network(miter), permutation=permutation)
+
+
+@dataclass
+class Alg1Template:
+    """Reusable miter network for Algorithm I.
+
+    All trace-term networks of Algorithm I share every tensor except the
+    one at each noise site.  The template holds the closed network built
+    from the first Kraus selection together with the tensor slot of every
+    noise site, so each further term only swaps ``k`` small tensors
+    instead of rebuilding the whole network — the structure-reuse idea the
+    paper borrows from Li et al. [24].
+    """
+
+    network: TensorNetwork
+    #: tensor index in ``network.tensors`` for each noise site
+    site_slots: List[int]
+    #: Kraus operator list per noise site
+    site_kraus: List[List]
+
+    def instantiate(self, selection: Sequence[int]) -> TensorNetwork:
+        """The trace network for one Kraus selection.
+
+        Unchanged tensors are shared by object identity with the template
+        (enabling TDD conversion caching); only noise-site tensors are
+        fresh.
+        """
+        from ..tensornet import gate_tensor
+
+        tensors = list(self.network.tensors)
+        for site, j in enumerate(selection):
+            slot = self.site_slots[site]
+            old = tensors[slot]
+            op = self.site_kraus[site][j]
+            half = old.rank // 2
+            tensors[slot] = gate_tensor(
+                op, old.indices[:half], old.indices[half:]
+            )
+        return TensorNetwork(tensors)
+
+
+def alg1_template(
+    noisy: QuantumCircuit, ideal: QuantumCircuit
+) -> Optional[Alg1Template]:
+    """Build the shared Algorithm I network template.
+
+    Returns None when the template construction is unsafe — currently
+    only when the trace closure traced a noise tensor onto itself (a
+    noise on an otherwise untouched wire), in which case Algorithm I
+    falls back to per-term network construction.
+    """
+    sites = noisy.noise_instructions()
+    lowered = lower_kraus_selection(noisy, tuple(0 for _ in sites))
+    miter = miter_circuit(lowered, ideal)
+    closed = close_trace(circuit_to_network(miter))
+    # close_trace preserves tensor order = instruction order (identity
+    # patches for untouched wires are appended at the end).
+    slots = [i for i, inst in enumerate(noisy) if inst.is_noise]
+    kraus = [inst.operation.kraus_operators for inst in sites]
+    for slot, ops in zip(slots, kraus):
+        expected_rank = 2 * int(np.log2(ops[0].shape[0]) + 0.5)
+        if closed.tensors[slot].rank != expected_rank:
+            return None
+    return Alg1Template(closed, slots, kraus)
+
+
+def alg2_trace_network(
+    noisy: QuantumCircuit,
+    ideal: QuantumCircuit,
+    use_local_optimisations: bool = False,
+) -> TensorNetwork:
+    """Closed doubled network whose scalar is ``sum_i |tr(U† E_i)|^2``.
+
+    This is ``tr((U† (x) U^T) M_E)`` contracted as one network of width
+    ``2n``.
+    """
+    if ideal.num_qubits != noisy.num_qubits:
+        raise ValueError("ideal and noisy circuits must have the same width")
+    doubled_miter = double_circuit(noisy).compose(double_circuit(ideal.inverse()))
+    permutation = None
+    if use_local_optimisations:
+        doubled_miter, permutation = eliminate_final_swaps(doubled_miter)
+        doubled_miter = cancel_adjacent_gates(doubled_miter)
+    return close_trace(circuit_to_network(doubled_miter), permutation=permutation)

@@ -1,0 +1,62 @@
+"""Run statistics reported by the checking algorithms.
+
+The paper's Table I reports wall-clock time and the maximum number of TDD
+nodes constructed during a run; Table II additionally needs per-term
+timings with and without the shared computed table.  :class:`RunStats`
+carries all of that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class RunStats:
+    """Statistics of one fidelity computation."""
+
+    algorithm: str = ""
+    #: wall-clock seconds for the whole computation
+    time_seconds: float = 0.0
+    #: peak TDD node count across all intermediate diagrams ('nodes' column)
+    max_nodes: int = 0
+    #: peak dense intermediate size (dense backend only)
+    max_intermediate_size: int = 0
+    #: number of Kraus selections actually contracted (Alg I)
+    terms_computed: int = 0
+    #: total number of Kraus selections (prod of per-site counts)
+    terms_total: int = 0
+    #: True when Alg I stopped early on the partial-sum test
+    early_stopped: bool = False
+    #: True when Alg I hit its wall-clock budget before finishing
+    timed_out: bool = False
+    #: per-term wall-clock seconds (Alg I, for the Table II experiment)
+    term_times: List[float] = field(default_factory=list)
+
+
+@dataclass
+class FidelityResult:
+    """Outcome of a fidelity computation.
+
+    ``fidelity`` is exact when the algorithm ran to completion; when Alg I
+    stops early it is the partial sum, which *lower-bounds* the true
+    Jamiolkowski fidelity (every term is non-negative).
+    """
+
+    fidelity: float
+    is_lower_bound: bool = False
+    stats: RunStats = field(default_factory=RunStats)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of an epsilon-equivalence check."""
+
+    equivalent: bool
+    epsilon: float
+    fidelity: float
+    is_lower_bound: bool
+    stats: RunStats = field(default_factory=RunStats)
+    algorithm: str = ""
+    note: Optional[str] = None

@@ -1,0 +1,125 @@
+"""Gate objects: a named unitary with structural operations.
+
+A :class:`Gate` is an immutable value object pairing a name (and optional
+parameters) with its unitary matrix.  Circuits store gates plus the qubit
+labels they act on; all structural transformations needed by the paper's
+miter constructions live here:
+
+* ``dagger()``  — Hermitian conjugate, used to build the reversed circuit U†.
+* ``conjugate()`` — entry-wise complex conjugate, used by Algorithm II to
+  build the primed copy U*.
+* ``transpose()`` — completing the family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from ..linalg import COMPLEX, dagger as _dagger, is_unitary, num_qubits_of
+
+
+@dataclass(frozen=True)
+class Gate:
+    """An immutable quantum gate.
+
+    Parameters
+    ----------
+    name:
+        Human-readable gate name (``"h"``, ``"cx"``, ...).  Derived gates
+        get a suffix: ``"h_dg"`` for the dagger, ``"h_conj"`` for the
+        conjugate.
+    matrix:
+        The ``2^k x 2^k`` unitary.  Stored read-only.
+    params:
+        Optional real parameters (rotation angles), kept for printing and
+        QASM round-trips.
+    """
+
+    name: str
+    matrix: np.ndarray
+    params: Tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        mat = np.asarray(self.matrix, dtype=COMPLEX)
+        if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+            raise ValueError(f"gate matrix must be square, got {mat.shape}")
+        num_qubits_of(mat)  # validates power-of-two dimension
+        mat = mat.copy()
+        mat.setflags(write=False)
+        object.__setattr__(self, "matrix", mat)
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the gate acts on."""
+        return num_qubits_of(self.matrix)
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension 2^k."""
+        return self.matrix.shape[0]
+
+    def is_unitary(self, atol: float = 1e-10) -> bool:
+        """Whether the stored matrix is unitary (always true for std gates)."""
+        return is_unitary(self.matrix, atol=atol)
+
+    def dagger(self) -> "Gate":
+        """Hermitian conjugate gate."""
+        return Gate(_strip_suffix(self.name, "_dg"), _dagger(self.matrix), self.params)
+
+    def conjugate(self) -> "Gate":
+        """Entry-wise complex conjugate gate (Algorithm II primed copy)."""
+        return Gate(
+            _strip_suffix(self.name, "_conj"), np.conjugate(self.matrix), self.params
+        )
+
+    def transpose(self) -> "Gate":
+        """Transposed gate; equals ``dagger().conjugate()``."""
+        return Gate(
+            _strip_suffix(self.name, "_t"), np.transpose(self.matrix), self.params
+        )
+
+    def tensor(self, other: "Gate") -> "Gate":
+        """Kronecker product ``self (x) other`` as a single gate."""
+        return Gate(
+            f"{self.name}(x){other.name}", np.kron(self.matrix, other.matrix)
+        )
+
+    def controlled(self) -> "Gate":
+        """Add one control qubit (control is the new most-significant qubit)."""
+        dim = self.dim
+        mat = np.eye(2 * dim, dtype=COMPLEX)
+        mat[dim:, dim:] = self.matrix
+        return Gate(f"c{self.name}", mat)
+
+    def power(self, exponent: int) -> "Gate":
+        """Integer matrix power of the gate."""
+        return Gate(
+            f"{self.name}^{exponent}", np.linalg.matrix_power(self.matrix, exponent)
+        )
+
+    def equals(self, other: "Gate", atol: float = 1e-10) -> bool:
+        """Exact matrix equality within tolerance (no global-phase slack)."""
+        return self.matrix.shape == other.matrix.shape and bool(
+            np.allclose(self.matrix, other.matrix, atol=atol)
+        )
+
+    def is_identity(self, atol: float = 1e-10) -> bool:
+        """Whether the matrix is exactly the identity (used by cancellation)."""
+        return bool(np.allclose(self.matrix, np.eye(self.dim), atol=atol))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.params:
+            args = ", ".join(f"{p:.6g}" for p in self.params)
+            return f"Gate({self.name}({args}), {self.num_qubits}q)"
+        return f"Gate({self.name}, {self.num_qubits}q)"
+
+
+def _strip_suffix(name: str, suffix: str) -> str:
+    """Toggle a derived-gate suffix so dagger(dagger(g)) keeps a clean name."""
+    if name.endswith(suffix):
+        return name[: -len(suffix)]
+    return name + suffix

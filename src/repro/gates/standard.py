@@ -1,0 +1,241 @@
+"""The standard gate zoo.
+
+Matrices follow the big-endian convention used throughout the library:
+qubit 0 is the most-significant bit of the computational-basis index, and a
+multi-qubit gate's first qubit argument corresponds to the most-significant
+factor of the Kronecker product.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..linalg import COMPLEX
+from .base import Gate
+
+_SQRT2 = math.sqrt(2.0)
+
+# --- 1-qubit constants ----------------------------------------------------
+
+I_MATRIX = np.eye(2, dtype=COMPLEX)
+X_MATRIX = np.array([[0, 1], [1, 0]], dtype=COMPLEX)
+Y_MATRIX = np.array([[0, -1j], [1j, 0]], dtype=COMPLEX)
+Z_MATRIX = np.array([[1, 0], [0, -1]], dtype=COMPLEX)
+H_MATRIX = np.array([[1, 1], [1, -1]], dtype=COMPLEX) / _SQRT2
+S_MATRIX = np.array([[1, 0], [0, 1j]], dtype=COMPLEX)
+SDG_MATRIX = np.array([[1, 0], [0, -1j]], dtype=COMPLEX)
+T_MATRIX = np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=COMPLEX)
+TDG_MATRIX = np.array([[1, 0], [0, np.exp(-1j * math.pi / 4)]], dtype=COMPLEX)
+SX_MATRIX = np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=COMPLEX) / 2
+
+
+def i_gate() -> Gate:
+    """Identity gate."""
+    return Gate("id", I_MATRIX)
+
+
+def x_gate() -> Gate:
+    """Pauli X (NOT)."""
+    return Gate("x", X_MATRIX)
+
+
+def y_gate() -> Gate:
+    """Pauli Y."""
+    return Gate("y", Y_MATRIX)
+
+
+def z_gate() -> Gate:
+    """Pauli Z."""
+    return Gate("z", Z_MATRIX)
+
+
+def h_gate() -> Gate:
+    """Hadamard."""
+    return Gate("h", H_MATRIX)
+
+
+def s_gate() -> Gate:
+    """Phase gate S = sqrt(Z)."""
+    return Gate("s", S_MATRIX)
+
+
+def sdg_gate() -> Gate:
+    """S dagger."""
+    return Gate("sdg", SDG_MATRIX)
+
+
+def t_gate() -> Gate:
+    """T = fourth root of Z."""
+    return Gate("t", T_MATRIX)
+
+
+def tdg_gate() -> Gate:
+    """T dagger."""
+    return Gate("tdg", TDG_MATRIX)
+
+
+def sx_gate() -> Gate:
+    """Square root of X."""
+    return Gate("sx", SX_MATRIX)
+
+
+def rx_gate(theta: float) -> Gate:
+    """Rotation about X by ``theta``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return Gate("rx", np.array([[c, -1j * s], [-1j * s, c]], dtype=COMPLEX), (theta,))
+
+
+def ry_gate(theta: float) -> Gate:
+    """Rotation about Y by ``theta``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return Gate("ry", np.array([[c, -s], [s, c]], dtype=COMPLEX), (theta,))
+
+
+def rz_gate(theta: float) -> Gate:
+    """Rotation about Z by ``theta``."""
+    phase = np.exp(1j * theta / 2)
+    return Gate(
+        "rz", np.array([[1 / phase, 0], [0, phase]], dtype=COMPLEX), (theta,)
+    )
+
+
+def p_gate(lam: float) -> Gate:
+    """Phase gate diag(1, e^{i lam})."""
+    return Gate(
+        "p", np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=COMPLEX), (lam,)
+    )
+
+
+def u_gate(theta: float, phi: float, lam: float) -> Gate:
+    """Generic single-qubit gate (OpenQASM ``u3`` convention)."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    mat = np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=COMPLEX,
+    )
+    return Gate("u", mat, (theta, phi, lam))
+
+
+# --- 2-qubit gates ----------------------------------------------------------
+
+CX_MATRIX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=COMPLEX
+)
+CZ_MATRIX = np.diag([1, 1, 1, -1]).astype(COMPLEX)
+SWAP_MATRIX = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=COMPLEX
+)
+ISWAP_MATRIX = np.array(
+    [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=COMPLEX
+)
+
+
+def cx_gate() -> Gate:
+    """Controlled-X; first qubit is the control."""
+    return Gate("cx", CX_MATRIX)
+
+
+def cz_gate() -> Gate:
+    """Controlled-Z (symmetric)."""
+    return Gate("cz", CZ_MATRIX)
+
+
+def cp_gate(lam: float) -> Gate:
+    """Controlled phase diag(1,1,1,e^{i lam}); used heavily by QFT."""
+    return Gate("cp", np.diag([1, 1, 1, np.exp(1j * lam)]).astype(COMPLEX), (lam,))
+
+
+def cs_gate() -> Gate:
+    """Controlled-S, the QFT2 entangling gate from the paper's Fig. 1."""
+    return Gate("cs", np.diag([1, 1, 1, 1j]).astype(COMPLEX))
+
+
+def swap_gate() -> Gate:
+    """SWAP."""
+    return Gate("swap", SWAP_MATRIX)
+
+
+def iswap_gate() -> Gate:
+    """iSWAP."""
+    return Gate("iswap", ISWAP_MATRIX)
+
+
+def rzz_gate(theta: float) -> Gate:
+    """Two-qubit ZZ rotation."""
+    phase = np.exp(1j * theta / 2)
+    return Gate(
+        "rzz",
+        np.diag([1 / phase, phase, phase, 1 / phase]).astype(COMPLEX),
+        (theta,),
+    )
+
+
+# --- 3-qubit gates ----------------------------------------------------------
+
+
+def ccx_gate() -> Gate:
+    """Toffoli; first two qubits are controls."""
+    mat = np.eye(8, dtype=COMPLEX)
+    mat[6:, 6:] = X_MATRIX
+    return Gate("ccx", mat)
+
+
+def cswap_gate() -> Gate:
+    """Fredkin (controlled-SWAP); first qubit is the control."""
+    mat = np.eye(8, dtype=COMPLEX)
+    mat[4:, 4:] = SWAP_MATRIX
+    return Gate("cswap", mat)
+
+
+def ccz_gate() -> Gate:
+    """Doubly-controlled Z."""
+    mat = np.eye(8, dtype=COMPLEX)
+    mat[7, 7] = -1
+    return Gate("ccz", mat)
+
+
+def unitary_gate(matrix: np.ndarray, name: str = "unitary") -> Gate:
+    """Wrap an arbitrary unitary matrix as a gate."""
+    gate = Gate(name, matrix)
+    if not gate.is_unitary():
+        raise ValueError(f"matrix for gate {name!r} is not unitary")
+    return gate
+
+
+#: Fixed (parameter-free) gates by name, used by the QASM reader.
+FIXED_GATES = {
+    "id": i_gate,
+    "x": x_gate,
+    "y": y_gate,
+    "z": z_gate,
+    "h": h_gate,
+    "s": s_gate,
+    "sdg": sdg_gate,
+    "t": t_gate,
+    "tdg": tdg_gate,
+    "sx": sx_gate,
+    "cx": cx_gate,
+    "cz": cz_gate,
+    "cs": cs_gate,
+    "swap": swap_gate,
+    "iswap": iswap_gate,
+    "ccx": ccx_gate,
+    "ccz": ccz_gate,
+    "cswap": cswap_gate,
+}
+
+#: Parametric gate constructors by name (arity implied by the constructor).
+PARAMETRIC_GATES = {
+    "rx": rx_gate,
+    "ry": ry_gate,
+    "rz": rz_gate,
+    "p": p_gate,
+    "u": u_gate,
+    "cp": cp_gate,
+    "rzz": rzz_gate,
+}

@@ -1,0 +1,20 @@
+"""Benchmark circuit generators used in the paper's evaluation."""
+
+from .arithmetic import mod_mult_7x15
+from .bv import bernstein_vazirani
+from .grover import grover, multi_controlled_phase, multi_controlled_x
+from .qft import qft, qft_dagger
+from .qv import quantum_volume
+from .rb import randomized_benchmarking
+
+__all__ = [
+    "bernstein_vazirani",
+    "grover",
+    "mod_mult_7x15",
+    "multi_controlled_phase",
+    "multi_controlled_x",
+    "qft",
+    "qft_dagger",
+    "quantum_volume",
+    "randomized_benchmarking",
+]

@@ -1,0 +1,50 @@
+"""Modular-multiplication circuit: the paper's ``7x1mod15`` benchmark.
+
+The controlled modular multiplier ``U_7 : |y> -> |7 y mod 15>`` on four
+target qubits — the order-finding kernel of Shor's factorisation of 15 —
+with one control qubit prepared in ``|+>``.  The multiplier itself is the
+textbook permutation network (three SWAPs and four Xs); the controlled
+form lowers controlled-SWAPs through CX/CCX, giving 14 gates on 5 qubits,
+matching the paper's row.
+"""
+
+from __future__ import annotations
+
+from ..circuits import QuantumCircuit
+
+
+def mod_mult_7x15(controlled: bool = True) -> QuantumCircuit:
+    """``7 * y mod 15`` modular multiplication (optionally controlled).
+
+    With ``controlled=True`` (the benchmark form) the circuit has five
+    qubits: qubit 0 is the control (prepared with an H), qubits 1-4 hold
+    ``y``.  Each controlled-SWAP is lowered to ``cx . ccx . cx``.
+    """
+    if controlled:
+        circuit = QuantumCircuit(5, "7x1mod15")
+        circuit.h(0)
+        targets = [1, 2, 3, 4]
+        # U_7 = (swap q2,q3)(swap q1,q2)(swap q0,q1) then X on all, on the
+        # 4 target qubits (big-endian bit order of y).
+        for a, b in ((targets[2], targets[3]), (targets[1], targets[2]),
+                     (targets[0], targets[1])):
+            _controlled_swap(circuit, 0, a, b)
+        for q in targets:
+            circuit.cx(0, q)
+        return circuit
+    circuit = QuantumCircuit(4, "u7mod15")
+    circuit.swap(2, 3)
+    circuit.swap(1, 2)
+    circuit.swap(0, 1)
+    for q in range(4):
+        circuit.x(q)
+    return circuit
+
+
+def _controlled_swap(
+    circuit: QuantumCircuit, control: int, a: int, b: int
+) -> None:
+    """Fredkin via the standard cx-ccx-cx identity."""
+    circuit.cx(b, a)
+    circuit.ccx(control, a, b)
+    circuit.cx(b, a)

@@ -1,0 +1,122 @@
+"""Grover search circuits.
+
+``grover(n)`` searches for a marked computational-basis item among
+``2^(n-1)`` entries using ``n - 1`` search qubits and one oracle ancilla,
+with the textbook phase-kickback oracle and diffusion operator.  The
+multi-controlled NOTs are decomposed down to {h, cx, ccx, cp}, so gate
+counts grow quickly — mirroring the paper's 96-gate 3-qubit instance
+being its largest-|G| small benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..circuits import QuantumCircuit
+
+
+def grover(
+    num_qubits: int,
+    marked: Optional[int] = None,
+    iterations: Optional[int] = None,
+) -> QuantumCircuit:
+    """Grover search over ``num_qubits - 1`` data qubits plus an ancilla.
+
+    Parameters
+    ----------
+    marked:
+        Index of the marked item (default: the all-ones item).
+    iterations:
+        Number of Grover iterations; default is the optimal
+        ``round(pi/4 * sqrt(N))``.
+    """
+    if num_qubits < 2:
+        raise ValueError("Grover needs at least 2 qubits")
+    data = num_qubits - 1
+    size = 2**data
+    if marked is None:
+        marked = size - 1
+    if not 0 <= marked < size:
+        raise ValueError(f"marked item {marked} out of range for {data} qubits")
+    if iterations is None:
+        iterations = max(1, int(math.pi / 4 * math.sqrt(size)))
+    ancilla = num_qubits - 1
+
+    circuit = QuantumCircuit(num_qubits, f"grover{num_qubits}")
+    for q in range(data):
+        circuit.h(q)
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for _ in range(iterations):
+        _oracle(circuit, data, ancilla, marked)
+        _diffusion(circuit, data)
+    return circuit
+
+
+def _oracle(
+    circuit: QuantumCircuit, data: int, ancilla: int, marked: int
+) -> None:
+    """Phase-kickback oracle flipping the ancilla on the marked item."""
+    zeros = [q for q in range(data) if not (marked >> (data - 1 - q)) & 1]
+    for q in zeros:
+        circuit.x(q)
+    multi_controlled_x(circuit, list(range(data)), ancilla)
+    for q in zeros:
+        circuit.x(q)
+
+
+def _diffusion(circuit: QuantumCircuit, data: int) -> None:
+    """Inversion about the mean on the data qubits."""
+    for q in range(data):
+        circuit.h(q)
+        circuit.x(q)
+    if data == 1:
+        circuit.z(0)
+    else:
+        # Multi-controlled Z on the all-ones state via an H-sandwiched MCX.
+        circuit.h(data - 1)
+        multi_controlled_x(circuit, list(range(data - 1)), data - 1)
+        circuit.h(data - 1)
+    for q in range(data):
+        circuit.x(q)
+        circuit.h(q)
+
+
+def multi_controlled_x(
+    circuit: QuantumCircuit, controls: List[int], target: int
+) -> None:
+    """Append C^k(X) decomposed to {x, cx, ccx, h, cp}.
+
+    Uses ``X^t = H P(pi t) H`` and the standard recursion
+    ``C^k(P(a)) = cp(a/2)[c_k,t] . C^{k-1}(X)[..,c_k] . cp(-a/2)[c_k,t]
+    . C^{k-1}(X)[..,c_k] . C^{k-1}(P(a/2))[..,t]`` — exact, no ancillae.
+    """
+    if not controls:
+        circuit.x(target)
+    elif len(controls) == 1:
+        circuit.cx(controls[0], target)
+    elif len(controls) == 2:
+        circuit.ccx(controls[0], controls[1], target)
+    else:
+        circuit.h(target)
+        multi_controlled_phase(circuit, controls, target, math.pi)
+        circuit.h(target)
+
+
+def multi_controlled_phase(
+    circuit: QuantumCircuit, controls: List[int], target: int, angle: float
+) -> None:
+    """Append C^k(P(angle)) decomposed to {cp, cx, ccx, h}."""
+    if not controls:
+        circuit.p(angle, target)
+        return
+    if len(controls) == 1:
+        circuit.cp(angle, controls[0], target)
+        return
+    head, last = controls[:-1], controls[-1]
+    circuit.cp(angle / 2, last, target)
+    multi_controlled_x(circuit, head, last)
+    circuit.cp(-angle / 2, last, target)
+    multi_controlled_x(circuit, head, last)
+    multi_controlled_phase(circuit, head, target, angle / 2)

@@ -1,0 +1,66 @@
+"""Quantum Fourier transform circuits.
+
+``qft(n)`` is the textbook construction: a Hadamard plus controlled-phase
+ladder per qubit followed by the output-reversing SWAP layer.  Set
+``decompose=True`` to lower the controlled phases to {p, cx} and SWAPs to
+three CXs, approximating the compiled gate counts of the paper's
+benchmark suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuits import QuantumCircuit
+
+
+def qft(
+    num_qubits: int, with_swaps: bool = True, decompose: bool = False
+) -> QuantumCircuit:
+    """The ``num_qubits``-qubit quantum Fourier transform.
+
+    Parameters
+    ----------
+    with_swaps:
+        Include the final qubit-reversal SWAP layer (paper Fig. 1 keeps
+        it; the SWAP-elimination optimisation strips it during checking).
+    decompose:
+        Lower cp/swap to the {p, cx} basis.
+    """
+    if num_qubits < 1:
+        raise ValueError("QFT needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, f"qft{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for offset, control in enumerate(
+            range(target + 1, num_qubits), start=2
+        ):
+            angle = 2 * math.pi / (2**offset)
+            if decompose:
+                _decomposed_cp(circuit, angle, control, target)
+            else:
+                circuit.cp(angle, control, target)
+    if with_swaps:
+        for q in range(num_qubits // 2):
+            partner = num_qubits - 1 - q
+            if decompose:
+                circuit.cx(q, partner).cx(partner, q).cx(q, partner)
+            else:
+                circuit.swap(q, partner)
+    return circuit
+
+
+def _decomposed_cp(
+    circuit: QuantumCircuit, angle: float, control: int, target: int
+) -> None:
+    """cp(angle) as p/cx primitives (standard 5-gate identity)."""
+    circuit.p(angle / 2, control)
+    circuit.cx(control, target)
+    circuit.p(-angle / 2, target)
+    circuit.cx(control, target)
+    circuit.p(angle / 2, target)
+
+
+def qft_dagger(num_qubits: int, with_swaps: bool = True) -> QuantumCircuit:
+    """The inverse QFT (used by arithmetic/phase-estimation workloads)."""
+    return qft(num_qubits, with_swaps=with_swaps).inverse()

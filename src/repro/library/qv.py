@@ -1,0 +1,71 @@
+"""Quantum-volume model circuits.
+
+The quantum-volume workload (Moll et al. / Cross et al.) applies ``depth``
+layers; each layer permutes the qubits at random, pairs neighbours and
+applies an independent Haar-random SU(4) block to every pair.  By default
+each block is lowered to the realistic 3-CX + single-qubit-unitary form,
+giving dense gate counts comparable to the paper's ``qv_nXdY`` rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..gates import unitary_gate
+from ..linalg import random_unitary
+
+
+def quantum_volume(
+    num_qubits: int,
+    depth: int | None = None,
+    seed: int | None = None,
+    decompose: bool = True,
+) -> QuantumCircuit:
+    """A quantum-volume model circuit ``qv_n{num_qubits}d{depth}``.
+
+    Parameters
+    ----------
+    depth:
+        Number of permute-and-entangle layers (defaults to ``num_qubits``,
+        the square QV shape).
+    seed:
+        RNG seed for both the permutations and the random blocks.
+    decompose:
+        Lower each two-qubit block to 3 CX + 8 random single-qubit
+        unitaries (the canonical KAK gate shape); otherwise keep it as a
+        single opaque SU(4) gate.
+    """
+    if num_qubits < 2:
+        raise ValueError("quantum volume needs at least 2 qubits")
+    depth = depth if depth is not None else num_qubits
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, f"qv_n{num_qubits}d{depth}")
+    for _ in range(depth):
+        perm = rng.permutation(num_qubits)
+        for i in range(0, num_qubits - 1, 2):
+            a, b = int(perm[i]), int(perm[i + 1])
+            if decompose:
+                _kak_shaped_block(circuit, a, b, rng)
+            else:
+                circuit.append(
+                    unitary_gate(random_unitary(4, rng), "su4"), [a, b]
+                )
+    return circuit
+
+
+def _kak_shaped_block(
+    circuit: QuantumCircuit, a: int, b: int, rng: np.random.Generator
+) -> None:
+    """Random two-qubit block in the 3-CX canonical gate shape."""
+    for q in (a, b):
+        circuit.append(unitary_gate(random_unitary(2, rng), "u2x2"), [q])
+    circuit.cx(a, b)
+    for q in (a, b):
+        circuit.append(unitary_gate(random_unitary(2, rng), "u2x2"), [q])
+    circuit.cx(b, a)
+    for q in (a, b):
+        circuit.append(unitary_gate(random_unitary(2, rng), "u2x2"), [q])
+    circuit.cx(a, b)
+    for q in (a, b):
+        circuit.append(unitary_gate(random_unitary(2, rng), "u2x2"), [q])

@@ -1,0 +1,51 @@
+"""Randomised-benchmarking sequences.
+
+A standard RB sequence: a random word of Clifford-generator layers
+followed by the single recovery gate that inverts the composition, so the
+ideal circuit implements the identity (up to global phase).  The default
+2-qubit, length-6 sequence matches the paper's ``rb`` row (7 gates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..gates import unitary_gate
+from ..linalg import dagger
+
+#: One-qubit Clifford-generator names available to a layer.
+_ONE_QUBIT = ("h", "s", "sdg", "x", "y", "z")
+
+
+def randomized_benchmarking(
+    num_qubits: int = 2,
+    length: int = 6,
+    seed: int | None = None,
+    two_qubit_prob: float = 0.5,
+) -> QuantumCircuit:
+    """A random Clifford word of ``length`` gates plus its inverse.
+
+    Each step is either a random one-qubit Clifford generator on a random
+    qubit, or (with probability ``two_qubit_prob`` when the register
+    allows) a CX on a random ordered pair.  The final instruction is the
+    exact inverse of the composition as one opaque ``recovery`` gate, so
+    the whole circuit equals the identity.
+    """
+    if num_qubits < 1:
+        raise ValueError("RB needs at least one qubit")
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, f"rb{num_qubits}_l{length}")
+    for _ in range(length):
+        use_two = num_qubits >= 2 and rng.random() < two_qubit_prob
+        if use_two:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+        else:
+            name = _ONE_QUBIT[int(rng.integers(len(_ONE_QUBIT)))]
+            getattr(circuit, name)(int(rng.integers(num_qubits)))
+    recovery = dagger(circuit.to_matrix())
+    circuit.append(unitary_gate(recovery, "recovery"), list(range(num_qubits)))
+    return circuit

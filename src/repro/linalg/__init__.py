@@ -1,0 +1,59 @@
+"""Dense linear-algebra substrate used by every other subpackage."""
+
+from .matrices import (
+    ATOL,
+    COMPLEX,
+    allclose_up_to_global_phase,
+    as_matrix,
+    dagger,
+    embed_operator,
+    is_density_matrix,
+    is_hermitian,
+    is_positive_semidefinite,
+    is_unitary,
+    kron_all,
+    num_qubits_of,
+    projector,
+    trace_distance,
+)
+from .random import (
+    random_density_matrix,
+    random_kraus_set,
+    random_statevector,
+    random_unitary,
+)
+from .states import (
+    basis_state,
+    maximally_entangled_state,
+    plus_state,
+    purity,
+    state_fidelity,
+    zero_state,
+)
+
+__all__ = [
+    "ATOL",
+    "COMPLEX",
+    "allclose_up_to_global_phase",
+    "as_matrix",
+    "basis_state",
+    "dagger",
+    "embed_operator",
+    "is_density_matrix",
+    "is_hermitian",
+    "is_positive_semidefinite",
+    "is_unitary",
+    "kron_all",
+    "maximally_entangled_state",
+    "num_qubits_of",
+    "plus_state",
+    "projector",
+    "purity",
+    "random_density_matrix",
+    "random_kraus_set",
+    "random_statevector",
+    "random_unitary",
+    "state_fidelity",
+    "trace_distance",
+    "zero_state",
+]

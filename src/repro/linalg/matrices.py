@@ -1,0 +1,166 @@
+"""Small dense linear-algebra helpers shared across the library.
+
+Everything in this module operates on plain ``numpy.ndarray`` objects with
+``complex128`` dtype.  These are the primitives underneath the gate zoo, the
+noise channels, the dense baseline and the reference paths of the tensor
+network / TDD backends.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Absolute tolerance used throughout for floating-point comparisons.
+ATOL = 1e-10
+
+COMPLEX = np.complex128
+
+
+def as_matrix(data, dim: int | None = None) -> np.ndarray:
+    """Coerce ``data`` into a square complex matrix.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts.
+    dim:
+        If given, the required dimension; a mismatch raises ``ValueError``.
+    """
+    mat = np.asarray(data, dtype=COMPLEX)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {mat.shape}")
+    if dim is not None and mat.shape[0] != dim:
+        raise ValueError(f"expected dimension {dim}, got {mat.shape[0]}")
+    return mat
+
+
+def dagger(mat: np.ndarray) -> np.ndarray:
+    """Hermitian conjugate (conjugate transpose)."""
+    return np.conjugate(np.transpose(mat))
+
+
+def kron_all(mats: Iterable[np.ndarray]) -> np.ndarray:
+    """Kronecker product of a sequence of matrices, left to right.
+
+    ``kron_all([])`` returns the 1x1 identity so it composes cleanly.
+    """
+    result = np.eye(1, dtype=COMPLEX)
+    for mat in mats:
+        result = np.kron(result, mat)
+    return result
+
+
+def num_qubits_of(mat: np.ndarray) -> int:
+    """Number of qubits an operator of this dimension acts on.
+
+    Raises ``ValueError`` if the dimension is not a power of two.
+    """
+    dim = mat.shape[0]
+    n = int(round(math.log2(dim)))
+    if 2**n != dim:
+        raise ValueError(f"dimension {dim} is not a power of two")
+    return n
+
+
+def is_unitary(mat: np.ndarray, atol: float = ATOL) -> bool:
+    """Check ``mat @ mat† == I`` within tolerance."""
+    mat = np.asarray(mat, dtype=COMPLEX)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        return False
+    eye = np.eye(mat.shape[0], dtype=COMPLEX)
+    return bool(np.allclose(mat @ dagger(mat), eye, atol=atol))
+
+
+def is_hermitian(mat: np.ndarray, atol: float = ATOL) -> bool:
+    """Check ``mat == mat†`` within tolerance."""
+    return bool(np.allclose(mat, dagger(mat), atol=atol))
+
+
+def is_positive_semidefinite(mat: np.ndarray, atol: float = ATOL) -> bool:
+    """Check Hermitian positive semi-definiteness via eigenvalues."""
+    if not is_hermitian(mat, atol=atol):
+        return False
+    eigs = np.linalg.eigvalsh((mat + dagger(mat)) / 2)
+    return bool(np.all(eigs >= -atol))
+
+
+def is_density_matrix(mat: np.ndarray, atol: float = ATOL) -> bool:
+    """Check positive semi-definite with unit trace."""
+    return is_positive_semidefinite(mat, atol=atol) and bool(
+        abs(np.trace(mat) - 1) <= atol
+    )
+
+
+def allclose_up_to_global_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-8
+) -> bool:
+    """True if ``a == exp(i t) * b`` for some real ``t``.
+
+    Used for unitary-circuit equivalence where a global phase is physically
+    irrelevant.
+    """
+    a = np.asarray(a, dtype=COMPLEX)
+    b = np.asarray(b, dtype=COMPLEX)
+    if a.shape != b.shape:
+        return False
+    # Find the largest-magnitude entry of b to fix the phase against.
+    idx = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(b[idx]) <= atol:
+        return bool(np.allclose(a, b, atol=atol))
+    phase = a[idx] / b[idx]
+    if abs(abs(phase) - 1) > 1e-6:
+        return False
+    return bool(np.allclose(a, phase * b, atol=atol))
+
+
+def embed_operator(
+    mat: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Embed a k-qubit operator acting on ``qubits`` into an n-qubit space.
+
+    Qubit 0 is the most significant bit of the computational-basis index,
+    matching the big-endian convention used by :mod:`repro.circuits`.
+    """
+    k = num_qubits_of(mat)
+    if len(qubits) != k:
+        raise ValueError(f"operator acts on {k} qubits, got {len(qubits)} labels")
+    if len(set(qubits)) != len(qubits):
+        raise ValueError(f"duplicate qubit labels in {qubits}")
+    if any(q < 0 or q >= num_qubits for q in qubits):
+        raise ValueError(f"qubit labels {qubits} out of range for n={num_qubits}")
+
+    # Reshape to a rank-2n tensor, with axes (out_0..out_{n-1}, in_0..in_{n-1}).
+    tensor = mat.reshape([2] * (2 * k))
+    full = np.eye(2**num_qubits, dtype=COMPLEX).reshape([2] * (2 * num_qubits))
+    # Contract identity's output legs on `qubits` with mat's input legs.
+    in_axes = [num_qubits + q for q in qubits]  # not used directly; see einsum below
+    del in_axes
+
+    # Build via tensordot: full_out = tensor applied to identity's out axes.
+    result = np.tensordot(tensor, full, axes=(list(range(k, 2 * k)), list(qubits)))
+    # Axes of `result`: (mat_out_0..mat_out_{k-1}, remaining axes of full).
+    # The remaining axes of full are its original axes minus `qubits`, in order.
+    remaining = [ax for ax in range(2 * num_qubits) if ax not in qubits]
+    perm = [0] * (2 * num_qubits)
+    for i, q in enumerate(qubits):
+        perm[q] = i
+    for i, ax in enumerate(remaining):
+        perm[ax] = k + i
+    result = np.transpose(result, perm)
+    return result.reshape(2**num_qubits, 2**num_qubits)
+
+
+def projector(vec: np.ndarray) -> np.ndarray:
+    """Outer product |v><v| of a state vector."""
+    vec = np.asarray(vec, dtype=COMPLEX).reshape(-1)
+    return np.outer(vec, np.conjugate(vec))
+
+
+def trace_distance(rho: np.ndarray, sigma: np.ndarray) -> float:
+    """Trace distance ``0.5 * ||rho - sigma||_1`` between density matrices."""
+    diff = np.asarray(rho, dtype=COMPLEX) - np.asarray(sigma, dtype=COMPLEX)
+    eigs = np.linalg.eigvalsh((diff + dagger(diff)) / 2)
+    return float(0.5 * np.sum(np.abs(eigs)))

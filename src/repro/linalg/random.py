@@ -1,0 +1,55 @@
+"""Random objects: Haar unitaries, random states, random Kraus channels.
+
+Used by the randomised-benchmarking workload, the quantum-volume generator
+and the property-based tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .matrices import COMPLEX, dagger
+
+
+def random_unitary(dim: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Haar-random unitary via QR decomposition of a Ginibre matrix."""
+    rng = rng or np.random.default_rng()
+    z = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(z)
+    # Fix the phase ambiguity of QR so the distribution is Haar.
+    phases = np.diagonal(r) / np.abs(np.diagonal(r))
+    return (q * phases).astype(COMPLEX)
+
+
+def random_statevector(dim: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Haar-random pure state."""
+    rng = rng or np.random.default_rng()
+    vec = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return (vec / np.linalg.norm(vec)).astype(COMPLEX)
+
+
+def random_density_matrix(
+    dim: int, rank: int | None = None, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Random density matrix from a normalised Wishart sample."""
+    rng = rng or np.random.default_rng()
+    rank = rank or dim
+    z = rng.normal(size=(dim, rank)) + 1j * rng.normal(size=(dim, rank))
+    rho = z @ dagger(z)
+    return (rho / np.trace(rho)).astype(COMPLEX)
+
+
+def random_kraus_set(
+    dim: int, num_ops: int, rng: np.random.Generator | None = None
+) -> list[np.ndarray]:
+    """A random CPTP channel in Kraus form with ``num_ops`` operators.
+
+    Built by slicing a Haar unitary on the dilated space, which guarantees
+    the completeness relation ``sum_i K_i† K_i = I`` exactly (up to float
+    rounding).
+    """
+    rng = rng or np.random.default_rng()
+    big = random_unitary(dim * num_ops, rng)
+    # The first block-column of the dilation unitary yields valid Kraus ops.
+    kraus = [big[i * dim : (i + 1) * dim, :dim].astype(COMPLEX) for i in range(num_ops)]
+    return kraus

@@ -1,0 +1,52 @@
+"""Noise channels, noise models and dense super-operator semantics."""
+
+from .channels import (
+    KrausChannel,
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    depolarizing,
+    pauli_channel,
+    phase_damping,
+    phase_flip,
+    two_qubit_depolarizing,
+    unitary_channel,
+)
+from .convert import (
+    choi_to_kraus,
+    kraus_from_superop,
+    superop_to_choi,
+    thermal_relaxation,
+)
+from .model import NoiseModel, insert_random_noise
+from .superop import (
+    circuit_kraus_operators,
+    circuit_superoperator_matrix,
+    evolve_density,
+    instruction_kraus,
+    kraus_to_channel,
+)
+
+__all__ = [
+    "KrausChannel",
+    "NoiseModel",
+    "amplitude_damping",
+    "bit_flip",
+    "bit_phase_flip",
+    "choi_to_kraus",
+    "kraus_from_superop",
+    "superop_to_choi",
+    "thermal_relaxation",
+    "circuit_kraus_operators",
+    "circuit_superoperator_matrix",
+    "depolarizing",
+    "evolve_density",
+    "insert_random_noise",
+    "instruction_kraus",
+    "kraus_to_channel",
+    "pauli_channel",
+    "phase_damping",
+    "phase_flip",
+    "two_qubit_depolarizing",
+    "unitary_channel",
+]

@@ -1,0 +1,95 @@
+"""Channel representation conversions and derived physical channels.
+
+Conversions between the three super-operator representations used in the
+library — Kraus form, the (row-stacking) matrix representation
+``M = sum_i K_i (x) K_i*``, and the Choi matrix — plus the thermal
+relaxation channel built from T1/T2 times.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..linalg import COMPLEX
+from .channels import KrausChannel, amplitude_damping, phase_damping
+
+
+def superop_to_choi(matrix: np.ndarray) -> np.ndarray:
+    """Reshuffle a row-stacking super-operator matrix into its Choi matrix.
+
+    ``M[(r, c), (r', c')] = sum K[r, r'] K*[c, c']`` and the (unnormalised)
+    Choi matrix is ``C[(r', r), (c', c)]`` — a transpose-reshuffle.
+    """
+    matrix = np.asarray(matrix, dtype=COMPLEX)
+    dim_sq = matrix.shape[0]
+    d = int(round(math.sqrt(dim_sq)))
+    if d * d != dim_sq or matrix.shape != (dim_sq, dim_sq):
+        raise ValueError(f"bad super-operator shape {matrix.shape}")
+    m4 = matrix.reshape(d, d, d, d)  # [r, c, r', c']
+    return np.transpose(m4, (2, 0, 3, 1)).reshape(dim_sq, dim_sq)
+
+
+def choi_to_kraus(choi: np.ndarray, atol: float = 1e-10) -> List[np.ndarray]:
+    """Extract Kraus operators from an (unnormalised) Choi matrix.
+
+    Eigendecomposes the Choi matrix and keeps eigenvectors with
+    eigenvalue above ``atol``.  The Choi convention matches
+    :meth:`repro.noise.KrausChannel.choi_matrix` with
+    ``normalised=False``: the vectorised Kraus operator sits in the
+    eigenvector as ``vec[i * d + j] = K[j, i]``.
+    """
+    choi = np.asarray(choi, dtype=COMPLEX)
+    dim_sq = choi.shape[0]
+    d = int(round(math.sqrt(dim_sq)))
+    if d * d != dim_sq:
+        raise ValueError(f"Choi matrix dimension {dim_sq} is not a square")
+    eigvals, eigvecs = np.linalg.eigh((choi + choi.conj().T) / 2)
+    kraus = []
+    for value, vector in zip(eigvals, eigvecs.T):
+        if value < -1e-8:
+            raise ValueError(
+                f"Choi matrix is not positive semi-definite (eig {value:.3g})"
+            )
+        if value > atol:
+            kraus.append(
+                math.sqrt(value) * np.transpose(vector.reshape(d, d))
+            )
+    return kraus
+
+
+def kraus_from_superop(
+    matrix: np.ndarray, name: str = "from_superop", atol: float = 1e-10
+) -> KrausChannel:
+    """Recover a :class:`KrausChannel` from its matrix representation."""
+    kraus = choi_to_kraus(superop_to_choi(matrix), atol=atol)
+    return KrausChannel(kraus, name=name, validate=False)
+
+
+def thermal_relaxation(
+    t1: float, t2: float, gate_time: float
+) -> KrausChannel:
+    """Thermal relaxation over ``gate_time`` with relaxation times T1, T2.
+
+    Composes amplitude damping (``gamma = 1 - exp(-t/T1)``) with the pure
+    dephasing needed to bring the total coherence decay to
+    ``exp(-t/T2)``.  Requires ``t2 <= 2 * t1`` (physicality).
+    """
+    if t1 <= 0 or t2 <= 0:
+        raise ValueError("T1 and T2 must be positive")
+    if t2 > 2 * t1 + 1e-12:
+        raise ValueError("unphysical relaxation times: T2 must be <= 2*T1")
+    if gate_time < 0:
+        raise ValueError("gate_time must be non-negative")
+    gamma = 1.0 - math.exp(-gate_time / t1)
+    # Amplitude damping alone decays coherence by exp(-t / (2 T1)); pure
+    # dephasing supplies the remainder of exp(-t / T2).
+    residual = math.exp(-gate_time / t2 + gate_time / (2 * t1))
+    lam = 1.0 - residual * residual
+    lam = min(max(lam, 0.0), 1.0)
+    channel = amplitude_damping(gamma).compose(phase_damping(lam))
+    return KrausChannel(
+        channel.kraus_operators, name="thermal_relaxation", validate=False
+    )

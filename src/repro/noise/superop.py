@@ -1,0 +1,101 @@
+"""Dense super-operator semantics of (noisy) circuits.
+
+These routines give the *reference* meaning of a noisy circuit as a map on
+density matrices.  They are exponential in memory (``4^n`` amplitudes for
+``evolve_density``; ``16^n`` for the full super-operator matrix) and exist
+for validation, the worked paper examples and the dense baseline — the
+TDD/tensor-network algorithms in :mod:`repro.core` never materialise them.
+
+Vectorisation convention: *row-stacking*, matching the paper's
+``M_E = sum_i E_i (x) E_i*`` (so ``vec(A rho B) = (A (x) B^T) vec(rho)``).
+The Qiskit-style baseline in :mod:`repro.baseline` uses column-stacking;
+the two are related by a transpose-permutation and yield identical traces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..linalg import COMPLEX, dagger, embed_operator
+from .channels import KrausChannel
+
+
+def instruction_kraus(inst) -> List[np.ndarray]:
+    """Kraus operators of an instruction (a unitary gate yields one)."""
+    if inst.is_noise:
+        return inst.operation.kraus_operators
+    return [inst.operation.matrix]
+
+
+def evolve_density(
+    circuit: QuantumCircuit, rho: np.ndarray | None = None
+) -> np.ndarray:
+    """Apply the circuit's super-operator to a density matrix.
+
+    Defaults to the ``|0...0><0...0|`` input.  Cost is ``O(|G| 8^n)`` time,
+    ``O(4^n)`` memory — fine for the sizes used in tests.
+    """
+    n = circuit.num_qubits
+    if rho is None:
+        rho = np.zeros((2**n, 2**n), dtype=COMPLEX)
+        rho[0, 0] = 1.0
+    rho = np.asarray(rho, dtype=COMPLEX)
+    for inst in circuit:
+        ops = [
+            embed_operator(op, inst.qubits, n) for op in instruction_kraus(inst)
+        ]
+        rho = sum(op @ rho @ dagger(op) for op in ops)
+    return rho
+
+
+def circuit_superoperator_matrix(circuit: QuantumCircuit) -> np.ndarray:
+    """Dense ``4^n x 4^n`` matrix representation ``M_E`` of the circuit.
+
+    Row-stacking convention: composing instructions in time order
+    multiplies their representations on the left.
+    """
+    n = circuit.num_qubits
+    dim = 4**n
+    mat = np.eye(dim, dtype=COMPLEX)
+    for inst in circuit:
+        step = np.zeros((dim, dim), dtype=COMPLEX)
+        for op in instruction_kraus(inst):
+            full = embed_operator(op, inst.qubits, n)
+            step += np.kron(full, np.conjugate(full))
+        mat = step @ mat
+    return mat
+
+
+def circuit_kraus_operators(
+    circuit: QuantumCircuit, max_terms: int | None = 4096
+) -> List[np.ndarray]:
+    """Global Kraus operators ``{E_i}`` of the whole circuit.
+
+    Each ``E_i`` corresponds to one choice of a Kraus operator at every
+    noise site, multiplied through the unitary gates — exactly the
+    enumeration of the paper's Algorithm I, but materialised densely.
+    ``max_terms`` guards against exponential blow-up (None disables).
+    """
+    n = circuit.num_qubits
+    total = circuit.num_kraus_terms
+    if max_terms is not None and total > max_terms:
+        raise ValueError(
+            f"circuit has {total} Kraus terms, above the cap {max_terms}"
+        )
+    operators = [np.eye(2**n, dtype=COMPLEX)]
+    for inst in circuit:
+        embedded = [
+            embed_operator(op, inst.qubits, n) for op in instruction_kraus(inst)
+        ]
+        operators = [emb @ acc for acc in operators for emb in embedded]
+    return operators
+
+
+def kraus_to_channel(
+    operators: Iterable[np.ndarray], name: str = "circuit"
+) -> KrausChannel:
+    """Bundle global Kraus operators back into a :class:`KrausChannel`."""
+    return KrausChannel(list(operators), name=name, validate=False)

@@ -1,0 +1,5 @@
+"""Monte-Carlo trajectory simulation of noisy circuits."""
+
+from .trajectory import Trajectory, TrajectorySimulator, run_trajectory
+
+__all__ = ["Trajectory", "TrajectorySimulator", "run_trajectory"]

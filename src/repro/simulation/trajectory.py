@@ -1,0 +1,132 @@
+"""Monte-Carlo trajectory simulation of noisy circuits.
+
+The quantum-trajectory method (the simulation substrate of the paper's
+related work, Li et al. [24]): evolve a pure state through the circuit,
+and at every noise site sample one Kraus operator with its Born
+probability ``p_i = ||K_i |psi>||^2``, renormalising afterwards.  The
+ensemble average of ``|psi><psi|`` over trajectories converges to the
+exact density-matrix evolution, which the test suite checks against
+:func:`repro.noise.evolve_density`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..linalg import COMPLEX, embed_operator
+from ..noise import instruction_kraus
+
+
+@dataclass
+class Trajectory:
+    """One sampled run: the final pure state and the Kraus choices made."""
+
+    state: np.ndarray
+    selections: List[int] = field(default_factory=list)
+    probability: float = 1.0
+
+
+def run_trajectory(
+    circuit: QuantumCircuit,
+    initial: Optional[np.ndarray] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Trajectory:
+    """Sample one quantum trajectory through a noisy circuit."""
+    rng = rng or np.random.default_rng()
+    n = circuit.num_qubits
+    if initial is None:
+        state = np.zeros(2**n, dtype=COMPLEX)
+        state[0] = 1.0
+    else:
+        state = np.asarray(initial, dtype=COMPLEX).copy()
+        norm = np.linalg.norm(state)
+        if not np.isclose(norm, 1.0, atol=1e-8):
+            raise ValueError("initial state must be normalised")
+
+    selections: List[int] = []
+    probability = 1.0
+    for inst in circuit:
+        ops = instruction_kraus(inst)
+        if len(ops) == 1:
+            full = embed_operator(ops[0], inst.qubits, n)
+            state = full @ state
+            continue
+        candidates = [
+            embed_operator(op, inst.qubits, n) @ state for op in ops
+        ]
+        weights = np.array(
+            [float(np.real(np.vdot(c, c))) for c in candidates]
+        )
+        weights = np.maximum(weights, 0.0)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("state annihilated by every Kraus operator")
+        weights = weights / total
+        choice = int(rng.choice(len(ops), p=weights))
+        selections.append(choice)
+        probability *= float(weights[choice])
+        state = candidates[choice] / np.linalg.norm(candidates[choice])
+    return Trajectory(state=state, selections=selections,
+                      probability=probability)
+
+
+class TrajectorySimulator:
+    """Ensemble simulation of a noisy circuit by trajectory sampling."""
+
+    def __init__(self, shots: int = 1000, seed: Optional[int] = None):
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        self.shots = shots
+        self.rng = np.random.default_rng(seed)
+
+    def density_matrix(
+        self, circuit: QuantumCircuit, initial: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Average ``|psi><psi|`` over trajectories (→ exact as shots→∞)."""
+        dim = 2**circuit.num_qubits
+        rho = np.zeros((dim, dim), dtype=COMPLEX)
+        for _ in range(self.shots):
+            traj = run_trajectory(circuit, initial=initial, rng=self.rng)
+            rho += np.outer(traj.state, np.conjugate(traj.state))
+        return rho / self.shots
+
+    def sample_counts(
+        self, circuit: QuantumCircuit, initial: Optional[np.ndarray] = None
+    ) -> Dict[str, int]:
+        """Measure all qubits at the end of each trajectory."""
+        n = circuit.num_qubits
+        counts: Dict[str, int] = {}
+        for _ in range(self.shots):
+            traj = run_trajectory(circuit, initial=initial, rng=self.rng)
+            probs = np.abs(traj.state) ** 2
+            probs = probs / probs.sum()
+            outcome = int(self.rng.choice(len(probs), p=probs))
+            key = format(outcome, f"0{n}b")
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def expected_fidelity(
+        self,
+        circuit: QuantumCircuit,
+        ideal: QuantumCircuit,
+        initial: Optional[np.ndarray] = None,
+    ) -> float:
+        """Average ``|<psi_ideal|psi_traj>|^2`` over trajectories.
+
+        For a fixed input this estimates the state fidelity between the
+        noisy output ensemble and the ideal output.
+        """
+        n = circuit.num_qubits
+        if initial is None:
+            initial = np.zeros(2**n, dtype=COMPLEX)
+            initial[0] = 1.0
+        target = ideal.to_matrix() @ np.asarray(initial, dtype=COMPLEX)
+        total = 0.0
+        for _ in range(self.shots):
+            traj = run_trajectory(circuit, initial=initial, rng=self.rng)
+            total += float(np.abs(np.vdot(target, traj.state)) ** 2)
+        return total / self.shots

@@ -1,0 +1,24 @@
+"""Tensor Decision Diagrams: canonical DD representation of tensors."""
+
+from .engine import (
+    contract_network,
+    contract_network_scalar,
+    manager_for_network,
+)
+from .export import node_count_by_level, to_dot
+from .manager import Tdd, TddManager
+from .node import TERMINAL_VAR, TddNode, count_nodes, round_weight
+
+__all__ = [
+    "TERMINAL_VAR",
+    "Tdd",
+    "TddManager",
+    "TddNode",
+    "contract_network",
+    "contract_network_scalar",
+    "count_nodes",
+    "manager_for_network",
+    "node_count_by_level",
+    "round_weight",
+    "to_dot",
+]

@@ -1,0 +1,78 @@
+"""Graphviz export of decision diagrams, for debugging and documentation.
+
+``to_dot(tdd)`` renders the diagram in the style of the TDD paper's
+figures: internal nodes labelled with their index variable, solid edges
+for the high (1) branch, dashed for the low (0) branch, and complex edge
+weights printed when they differ from 1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .manager import Tdd
+from .node import TddNode
+
+
+def _format_weight(value: complex) -> str:
+    if abs(value.imag) < 1e-12:
+        return f"{value.real:.4g}"
+    if abs(value.real) < 1e-12:
+        return f"{value.imag:.4g}i"
+    sign = "+" if value.imag >= 0 else "-"
+    return f"{value.real:.4g}{sign}{abs(value.imag):.4g}i"
+
+
+def to_dot(tdd: Tdd, name: str = "tdd") -> str:
+    """Render a TDD as a Graphviz DOT string."""
+    lines: List[str] = [
+        f"digraph {name} {{",
+        "  rankdir=TB;",
+        '  root [shape=none, label=""];',
+    ]
+    order = tdd.manager.var_order
+    seen = set()
+    stack = [tdd.node]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if node.is_terminal:
+            lines.append(f'  n{id(node)} [shape=box, label="1"];')
+            continue
+        lines.append(
+            f'  n{id(node)} [shape=circle, label="{order[node.var]}"];'
+        )
+        for child, weight, style in (
+            (node.low, node.low_weight, "dashed"),
+            (node.high, node.high_weight, "solid"),
+        ):
+            label = _format_weight(complex(weight))
+            attr = f'style={style}'
+            if label != "1":
+                attr += f', label="{label}"'
+            lines.append(f"  n{id(node)} -> n{id(child)} [{attr}];")
+            stack.append(child)
+    root_label = _format_weight(complex(tdd.weight))
+    attr = "" if root_label == "1" else f' [label="{root_label}"]'
+    lines.append(f"  root -> n{id(tdd.node)}{attr};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def node_count_by_level(tdd: Tdd) -> dict:
+    """Histogram of reachable internal nodes per variable (profiling aid)."""
+    counts: dict = {}
+    seen = set()
+    stack: List[TddNode] = [tdd.node]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen or node.is_terminal:
+            continue
+        seen.add(id(node))
+        label = tdd.manager.var_order[node.var]
+        counts[label] = counts.get(label, 0) + 1
+        stack.append(node.low)
+        stack.append(node.high)
+    return counts

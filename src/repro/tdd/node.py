@@ -1,0 +1,99 @@
+"""TDD nodes and weight canonicalisation.
+
+A Tensor Decision Diagram (Hong et al., arXiv:2009.02618) represents a
+tensor over Boolean indices as a rooted DAG.  Each internal node tests one
+index variable and has two weighted out-edges (low = index 0, high = 1);
+the unique terminal represents the constant 1.  Canonicity comes from the
+normalisation rule in :mod:`repro.tdd.manager` plus hash-consing of nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Variable position assigned to the terminal node: larger than any real var.
+TERMINAL_VAR = 1 << 60
+
+#: Decimal places used when hashing edge weights.  Two weights equal within
+#: this precision are identified, which keeps float jitter from breaking
+#: canonicity.
+WEIGHT_DECIMALS = 12
+
+
+def round_weight(value: complex) -> complex:
+    """Canonical rounded form of an edge weight for hashing."""
+    real = round(value.real, WEIGHT_DECIMALS)
+    imag = round(value.imag, WEIGHT_DECIMALS)
+    # Collapse -0.0 so hash keys match.
+    if real == 0.0:
+        real = 0.0
+    if imag == 0.0:
+        imag = 0.0
+    return complex(real, imag)
+
+
+class TddNode:
+    """One hash-consed TDD node.
+
+    Attributes
+    ----------
+    var:
+        Position of the tested variable in the manager's global order
+        (``TERMINAL_VAR`` for the terminal node).
+    low, high:
+        Successor nodes for index value 0 / 1.
+    low_weight, high_weight:
+        Complex weights on the two out-edges.
+    """
+
+    __slots__ = ("var", "low", "low_weight", "high", "high_weight")
+
+    def __init__(
+        self,
+        var: int,
+        low: "TddNode | None" = None,
+        low_weight: complex = 0.0,
+        high: "TddNode | None" = None,
+        high_weight: complex = 0.0,
+    ):
+        self.var = var
+        self.low = low
+        self.low_weight = low_weight
+        self.high = high
+        self.high_weight = high_weight
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether this is the terminal (constant-1) node."""
+        return self.var == TERMINAL_VAR
+
+    def cofactors(self, var: int) -> Tuple[Tuple[complex, "TddNode"],
+                                           Tuple[complex, "TddNode"]]:
+        """Unit-incoming-weight cofactors of this node w.r.t. ``var``.
+
+        If the node does not test ``var`` (its top variable is below it in
+        the order), both cofactors are the node itself.
+        """
+        if self.var == var:
+            return (self.low_weight, self.low), (self.high_weight, self.high)
+        return (1.0, self), (1.0, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_terminal:
+            return "TddNode(terminal)"
+        return f"TddNode(var={self.var}, id={id(self):#x})"
+
+
+def count_nodes(node: TddNode) -> int:
+    """Number of distinct nodes reachable from ``node`` (terminal included)."""
+    seen = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        if not current.is_terminal:
+            stack.append(current.low)
+            stack.append(current.high)
+    return len(seen)

@@ -1,0 +1,39 @@
+"""Tensor-network substrate: tensors, networks, orders, circuit conversion."""
+
+from .circuit_tn import (
+    CircuitNetwork,
+    circuit_to_network,
+    circuit_trace,
+    close_trace,
+    connect,
+)
+from .network import ContractionStats, TensorNetwork
+from .ordering import (
+    ORDER_HEURISTICS,
+    contraction_order,
+    interaction_graph,
+    min_fill_order,
+    sequential_order,
+    tree_decomposition_order,
+)
+from .tensor import Tensor, gate_tensor, identity_tensor, scalar_tensor
+
+__all__ = [
+    "ORDER_HEURISTICS",
+    "CircuitNetwork",
+    "ContractionStats",
+    "Tensor",
+    "TensorNetwork",
+    "circuit_to_network",
+    "circuit_trace",
+    "close_trace",
+    "connect",
+    "contraction_order",
+    "gate_tensor",
+    "identity_tensor",
+    "interaction_graph",
+    "min_fill_order",
+    "scalar_tensor",
+    "sequential_order",
+    "tree_decomposition_order",
+]

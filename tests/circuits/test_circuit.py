@@ -1,0 +1,168 @@
+"""Unit tests for the QuantumCircuit IR."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.gates import h_gate
+from repro.linalg import allclose_up_to_global_phase
+from repro.noise import bit_flip, depolarizing
+
+
+class TestConstruction:
+    def test_needs_positive_width(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_append_out_of_range(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.h(2)
+
+    def test_chaining(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        assert len(circuit) == 2
+
+    def test_duplicate_qubits_rejected(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.cx(0, 0)
+
+    def test_arity_mismatch_rejected(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.append(h_gate(), [0, 1])
+
+
+class TestInspection:
+    def test_counts(self):
+        circuit = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        circuit.append(bit_flip(0.9), [0])
+        assert circuit.num_gates == 3
+        assert circuit.num_noise_sites == 1
+        assert not circuit.is_unitary_circuit
+        assert circuit.count_ops() == {"h": 2, "cx": 1, "bit_flip": 1}
+
+    def test_num_kraus_terms(self):
+        circuit = QuantumCircuit(1)
+        circuit.append(bit_flip(0.9), [0])
+        circuit.append(depolarizing(0.9), [0])
+        assert circuit.num_kraus_terms == 8
+
+    def test_depth(self):
+        circuit = QuantumCircuit(3).h(0).h(1).cx(0, 1).h(2)
+        assert circuit.depth() == 2
+
+    def test_depth_empty(self):
+        assert QuantumCircuit(2).depth() == 0
+
+
+class TestDenseSemantics:
+    def test_bell_state(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        vec = circuit.statevector()
+        expected = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        assert np.allclose(vec, expected)
+
+    def test_matrix_composition_order(self):
+        # X then H on one qubit: matrix must be H @ X.
+        circuit = QuantumCircuit(1).x(0).h(0)
+        h = h_gate().matrix
+        x = np.array([[0, 1], [1, 0]])
+        assert np.allclose(circuit.to_matrix(), h @ x)
+
+    def test_noisy_circuit_has_no_matrix(self):
+        circuit = QuantumCircuit(1)
+        circuit.append(bit_flip(0.9), [0])
+        with pytest.raises(ValueError):
+            circuit.to_matrix()
+
+
+class TestTransforms:
+    def test_inverse(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).s(1)
+        product = circuit.inverse().to_matrix() @ circuit.to_matrix()
+        assert np.allclose(product, np.eye(4))
+
+    def test_inverse_rejects_noise(self):
+        circuit = QuantumCircuit(1)
+        circuit.append(bit_flip(0.9), [0])
+        with pytest.raises(ValueError):
+            circuit.inverse()
+
+    def test_conjugate(self):
+        circuit = QuantumCircuit(1).s(0)
+        assert np.allclose(
+            circuit.conjugate().to_matrix(), np.conjugate(circuit.to_matrix())
+        )
+
+    def test_compose(self):
+        a = QuantumCircuit(1).h(0)
+        b = QuantumCircuit(1).s(0)
+        composed = a.compose(b)
+        assert np.allclose(
+            composed.to_matrix(), b.to_matrix() @ a.to_matrix()
+        )
+
+    def test_compose_width_mismatch(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(1).compose(QuantumCircuit(2))
+
+    def test_power(self):
+        s = QuantumCircuit(1).s(0)
+        assert np.allclose(s.power(2).to_matrix(), np.diag([1, -1]))
+        assert np.allclose(s.power(-1).to_matrix(), np.diag([1, -1j]))
+
+    def test_remap_qubits(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        swapped = circuit.remap_qubits([1, 0])
+        assert swapped[0].qubits == (1, 0)
+
+    def test_remap_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(2).remap_qubits([0, 0])
+
+    def test_without_noise(self):
+        circuit = QuantumCircuit(1).h(0)
+        circuit.append(bit_flip(0.9), [0])
+        circuit.x(0)
+        ideal = circuit.without_noise()
+        assert ideal.is_unitary_circuit and ideal.num_gates == 2
+
+    def test_copy_is_independent(self):
+        circuit = QuantumCircuit(1).h(0)
+        clone = circuit.copy()
+        clone.x(0)
+        assert len(circuit) == 1 and len(clone) == 2
+
+
+class TestStatevectorInitial:
+    def test_custom_initial_state(self):
+        circuit = QuantumCircuit(1).x(0)
+        out = circuit.statevector(np.array([0, 1]))
+        assert np.allclose(out, [1, 0])
+
+
+class TestGateConvenienceMethods:
+    def test_every_single_qubit_method(self):
+        circuit = QuantumCircuit(1)
+        for method in ("i", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx"):
+            getattr(circuit, method)(0)
+        for method in ("rx", "ry", "rz", "p"):
+            getattr(circuit, method)(0.1, 0)
+        circuit.u(0.1, 0.2, 0.3, 0)
+        assert circuit.num_gates == 15
+        # The full composition is still unitary.
+        mat = circuit.to_matrix()
+        assert np.allclose(mat @ mat.conj().T, np.eye(2))
+
+    def test_multi_qubit_methods(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cz(1, 2).cp(0.3, 0, 2).cs(0, 1).swap(1, 2)
+        circuit.ccx(0, 1, 2).cswap(0, 1, 2)
+        assert circuit.num_gates == 7
+
+    def test_unitary_method(self):
+        circuit = QuantumCircuit(2)
+        circuit.unitary(np.eye(4), [0, 1], name="custom")
+        assert circuit[0].name == "custom"

@@ -1,0 +1,52 @@
+"""Unit tests for the circuit DAG view."""
+
+from repro.circuits import CircuitDag, QuantumCircuit
+from repro.noise import bit_flip
+
+
+class TestWireFollowing:
+    def test_predecessors_and_successors(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).h(1)
+        dag = CircuitDag(circuit)
+        assert dag.nodes[0].predecessors == {0: None}
+        assert dag.nodes[1].predecessors == {0: 0, 1: None}
+        assert dag.nodes[0].successors == {0: 1}
+        assert dag.nodes[1].successors[1] == 2
+
+    def test_last_on_wire(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).h(1)
+        dag = CircuitDag(circuit)
+        assert dag.last_on_wire == {0: 1, 1: 2}
+
+
+class TestAdjacentPairs:
+    def test_same_qubits_pair(self):
+        circuit = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+        assert CircuitDag(circuit).adjacent_pairs() == [(0, 1)]
+
+    def test_different_qubit_order_not_paired(self):
+        circuit = QuantumCircuit(2).cx(0, 1).cx(1, 0)
+        assert CircuitDag(circuit).adjacent_pairs() == []
+
+    def test_interposed_blocks_pairing(self):
+        circuit = QuantumCircuit(2).cx(0, 1).h(0).cx(0, 1)
+        assert CircuitDag(circuit).adjacent_pairs() == []
+
+    def test_noise_counts_as_instruction(self):
+        circuit = QuantumCircuit(1).h(0)
+        circuit.append(bit_flip(0.9), [0])
+        circuit.h(0)
+        assert CircuitDag(circuit).adjacent_pairs() == [(1, 2)] or \
+            CircuitDag(circuit).adjacent_pairs() == [(0, 1), (1, 2)]
+
+
+class TestLayers:
+    def test_parallel_gates_same_layer(self):
+        circuit = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        layers = CircuitDag(circuit).topological_layers()
+        assert layers == [[0, 1], [2]]
+
+    def test_serial_chain(self):
+        circuit = QuantumCircuit(1).h(0).t(0).h(0)
+        layers = CircuitDag(circuit).topological_layers()
+        assert layers == [[0], [1], [2]]

@@ -1,0 +1,55 @@
+"""Unit tests for the text circuit drawer."""
+
+from repro.circuits import QuantumCircuit, draw
+from repro.noise import bit_flip, two_qubit_depolarizing
+
+
+class TestDraw:
+    def test_single_qubit_gates(self):
+        art = draw(QuantumCircuit(1).h(0).t(0))
+        assert art.startswith("q0: ")
+        assert "[h]" in art and "[t]" in art
+
+    def test_rows_equal_width(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 2).t(1).swap(1, 2)
+        lines = draw(circuit).splitlines()
+        assert len(lines) == 3
+        assert len({len(line) for line in lines}) == 1
+
+    def test_control_and_target_symbols(self):
+        art = draw(QuantumCircuit(2).cx(0, 1))
+        lines = art.splitlines()
+        assert "●" in lines[0]
+        assert "X" in lines[1]
+
+    def test_vertical_connector(self):
+        art = draw(QuantumCircuit(3).cx(0, 2))
+        lines = art.splitlines()
+        assert "│" in lines[1]
+
+    def test_noise_marked(self):
+        circuit = QuantumCircuit(1)
+        circuit.append(bit_flip(0.9), [0])
+        assert "~bit_flip~" in draw(circuit)
+
+    def test_multiqubit_box_indexed(self):
+        circuit = QuantumCircuit(2)
+        circuit.append(two_qubit_depolarizing(0.99), [0, 1])
+        art = draw(circuit)
+        assert ":0]" in art and ":1]" in art
+
+    def test_method_alias(self):
+        circuit = QuantumCircuit(1).h(0)
+        assert circuit.draw() == draw(circuit)
+
+    def test_empty_circuit(self):
+        art = draw(QuantumCircuit(2))
+        lines = art.splitlines()
+        assert lines[0].startswith("q0: ")
+        assert lines[1].startswith("q1: ")
+
+    def test_label_alignment_two_digit(self):
+        circuit = QuantumCircuit(11).h(10)
+        lines = draw(circuit).splitlines()
+        assert lines[0].startswith("q0 : ")
+        assert lines[10].startswith("q10: ")

@@ -1,0 +1,104 @@
+"""Unit tests for the optimisation passes (Sec. IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    QuantumCircuit,
+    cancel_adjacent_gates,
+    eliminate_final_swaps,
+    permutation_matrix,
+)
+from repro.linalg import allclose_up_to_global_phase
+from repro.noise import bit_flip
+
+
+class TestCancelAdjacentGates:
+    def test_hh_cancels(self):
+        circuit = QuantumCircuit(1).h(0).h(0)
+        assert len(cancel_adjacent_gates(circuit)) == 0
+
+    def test_ssdg_cancels(self):
+        circuit = QuantumCircuit(1).s(0).sdg(0)
+        assert len(cancel_adjacent_gates(circuit)) == 0
+
+    def test_cxcx_cancels(self):
+        circuit = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+        assert len(cancel_adjacent_gates(circuit)) == 0
+
+    def test_cx_different_direction_kept(self):
+        circuit = QuantumCircuit(2).cx(0, 1).cx(1, 0)
+        assert len(cancel_adjacent_gates(circuit)) == 2
+
+    def test_cascading_cancellation(self):
+        # h x x h collapses completely once the inner pair goes.
+        circuit = QuantumCircuit(1).h(0).x(0).x(0).h(0)
+        assert len(cancel_adjacent_gates(circuit)) == 0
+
+    def test_interposed_gate_blocks(self):
+        circuit = QuantumCircuit(1).h(0).t(0).h(0)
+        assert len(cancel_adjacent_gates(circuit)) == 3
+
+    def test_noise_blocks_cancellation(self):
+        circuit = QuantumCircuit(1).h(0)
+        circuit.append(bit_flip(0.9), [0])
+        circuit.h(0)
+        assert len(cancel_adjacent_gates(circuit)) == 3
+
+    def test_functionality_preserved(self):
+        circuit = (
+            QuantumCircuit(2).h(0).h(0).cx(0, 1).t(1).tdg(1).cx(0, 1).s(0)
+        )
+        optimised = cancel_adjacent_gates(circuit)
+        assert np.allclose(optimised.to_matrix(), circuit.to_matrix())
+        assert len(optimised) < len(circuit)
+
+    def test_partial_shared_wire_not_cancelled(self):
+        # cx(0,1) and cx(0,2): share wire 0 only; must not merge.
+        circuit = QuantumCircuit(3).cx(0, 1).cx(0, 2)
+        assert len(cancel_adjacent_gates(circuit)) == 2
+
+
+class TestEliminateFinalSwaps:
+    def test_single_trailing_swap(self):
+        circuit = QuantumCircuit(2).h(0).swap(0, 1)
+        stripped, perm = eliminate_final_swaps(circuit)
+        assert len(stripped) == 1
+        assert perm == [1, 0]
+
+    def test_swap_chain(self):
+        circuit = QuantumCircuit(3).swap(0, 1).swap(1, 2)
+        stripped, perm = eliminate_final_swaps(circuit)
+        assert len(stripped) == 0
+        # wire0 -> 1 by first swap; then wire1(now carrying q0) -> 2.
+        mat = permutation_matrix(perm)
+        assert np.allclose(mat, circuit.to_matrix())
+
+    def test_non_trailing_swap_kept(self):
+        circuit = QuantumCircuit(2).swap(0, 1).h(0)
+        stripped, perm = eliminate_final_swaps(circuit)
+        assert len(stripped) == 2
+        assert perm == [0, 1]
+
+    def test_reconstruction_identity(self):
+        # P @ stripped == original for a QFT-style ending.
+        circuit = QuantumCircuit(3).h(0).cp(0.7, 1, 0).h(1).swap(0, 2)
+        stripped, perm = eliminate_final_swaps(circuit)
+        recon = permutation_matrix(perm) @ stripped.to_matrix()
+        assert np.allclose(recon, circuit.to_matrix())
+
+
+class TestPermutationMatrix:
+    def test_identity(self):
+        assert np.allclose(permutation_matrix([0, 1]), np.eye(4))
+
+    def test_swap(self):
+        swap = QuantumCircuit(2).swap(0, 1).to_matrix()
+        assert np.allclose(permutation_matrix([1, 0]), swap)
+
+    def test_three_cycle(self):
+        perm = [1, 2, 0]
+        mat = permutation_matrix(perm)
+        assert np.allclose(mat @ mat.conj().T, np.eye(8))
+        cubed = np.linalg.matrix_power(mat, 3)
+        assert np.allclose(cubed, np.eye(8))

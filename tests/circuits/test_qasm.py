@@ -1,0 +1,90 @@
+"""Unit tests for the OpenQASM 2 reader/writer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, qasm
+from repro.noise import bit_flip
+
+SAMPLE = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[2];
+cp(-pi/2) q[1],q[2];
+swap q[0],q[2];
+"""
+
+
+class TestLoads:
+    def test_round_structure(self):
+        circuit = qasm.loads(SAMPLE)
+        assert circuit.num_qubits == 3
+        assert [inst.name for inst in circuit] == [
+            "h", "cx", "rz", "cp", "swap",
+        ]
+
+    def test_parameters_evaluated(self):
+        circuit = qasm.loads(SAMPLE)
+        assert np.isclose(circuit[2].operation.params[0], math.pi / 4)
+        assert np.isclose(circuit[3].operation.params[0], -math.pi / 2)
+
+    def test_comments_ignored(self):
+        src = "OPENQASM 2.0; // header\nqreg q[1];\nh q[0]; // gate\n"
+        assert len(qasm.loads(src)) == 1
+
+    def test_missing_header(self):
+        with pytest.raises(ValueError):
+            qasm.loads("qreg q[2]; h q[0];")
+
+    def test_missing_qreg(self):
+        with pytest.raises(ValueError):
+            qasm.loads("OPENQASM 2.0; h q[0];")
+
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError):
+            qasm.loads("OPENQASM 2.0; qreg q[1]; frobnicate q[0];")
+
+    def test_u3_alias(self):
+        circuit = qasm.loads(
+            "OPENQASM 2.0; qreg q[1]; u3(pi/2,0,pi) q[0];"
+        )
+        assert circuit[0].name == "u"
+
+    def test_param_expression_arithmetic(self):
+        circuit = qasm.loads(
+            "OPENQASM 2.0; qreg q[1]; rz(2*pi/8 + 0.5) q[0];"
+        )
+        assert np.isclose(
+            circuit[0].operation.params[0], 2 * math.pi / 8 + 0.5
+        )
+
+    def test_rejects_malicious_expression(self):
+        with pytest.raises(ValueError):
+            qasm.loads(
+                "OPENQASM 2.0; qreg q[1]; rz(__import__('os')) q[0];"
+            )
+
+
+class TestDumps:
+    def test_roundtrip_semantics(self):
+        circuit = qasm.loads(SAMPLE)
+        again = qasm.loads(qasm.dumps(circuit))
+        assert np.allclose(circuit.to_matrix(), again.to_matrix())
+
+    def test_noise_not_serialisable(self):
+        circuit = QuantumCircuit(1)
+        circuit.append(bit_flip(0.9), [0])
+        with pytest.raises(ValueError):
+            qasm.dumps(circuit)
+
+    def test_file_round_trip(self, tmp_path):
+        circuit = qasm.loads(SAMPLE)
+        path = tmp_path / "c.qasm"
+        qasm.dump(circuit, path)
+        again = qasm.load(path)
+        assert np.allclose(circuit.to_matrix(), again.to_matrix())

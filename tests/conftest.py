@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.noise import bit_flip, depolarizing, phase_flip
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def qft2_ideal():
+    """The paper's Fig. 1 circuit: 2-qubit QFT."""
+    return QuantumCircuit(2, "qft2").h(0).cs(0, 1).h(1).swap(0, 1)
+
+
+@pytest.fixture
+def qft2_noisy():
+    """The paper's Fig. 2 circuit with p = 0.9 bit/phase flips."""
+    circuit = QuantumCircuit(2, "qft2_noisy")
+    circuit.h(0).cs(0, 1)
+    circuit.append(bit_flip(0.9), [1])
+    circuit.h(1)
+    circuit.append(phase_flip(0.9), [0])
+    circuit.swap(0, 1)
+    return circuit
+
+
+def make_noisy_qft2(p: float) -> QuantumCircuit:
+    """Fig. 2 with a configurable flip parameter."""
+    circuit = QuantumCircuit(2, "qft2_noisy")
+    circuit.h(0).cs(0, 1)
+    circuit.append(bit_flip(p), [1])
+    circuit.h(1)
+    circuit.append(phase_flip(p), [0])
+    circuit.swap(0, 1)
+    return circuit
+
+
+@pytest.fixture
+def small_noisy_pair():
+    """A 3-qubit ideal/noisy pair with depolarising noise."""
+    from repro.noise import insert_random_noise
+
+    ideal = QuantumCircuit(3, "ghz").h(0).cx(0, 1).cx(1, 2)
+    noisy = insert_random_noise(
+        ideal, 2, channel_factory=lambda: depolarizing(0.99), seed=42
+    )
+    return ideal, noisy

@@ -1,0 +1,80 @@
+"""Unit tests for the Gate value object."""
+
+import numpy as np
+import pytest
+
+from repro.gates import Gate, cx_gate, h_gate, s_gate, t_gate, x_gate
+
+
+class TestGateConstruction:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            Gate("bad", np.ones((2, 3)))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            Gate("bad", np.eye(3))
+
+    def test_matrix_readonly(self):
+        gate = h_gate()
+        with pytest.raises(ValueError):
+            gate.matrix[0, 0] = 5
+
+    def test_num_qubits(self):
+        assert h_gate().num_qubits == 1
+        assert cx_gate().num_qubits == 2
+
+
+class TestGateTransforms:
+    def test_dagger_matrix(self):
+        s = s_gate()
+        assert np.allclose(s.dagger().matrix, np.diag([1, -1j]))
+
+    def test_dagger_name_toggles(self):
+        s = s_gate()
+        assert s.dagger().name == "s_dg"
+        assert s.dagger().dagger().name == "s"
+
+    def test_conjugate(self):
+        s = s_gate()
+        assert np.allclose(s.conjugate().matrix, np.diag([1, -1j]))
+
+    def test_transpose_equals_conj_dagger(self):
+        t = t_gate()
+        assert np.allclose(
+            t.transpose().matrix, t.dagger().conjugate().matrix
+        )
+
+    def test_tensor(self):
+        xz = x_gate().tensor(h_gate())
+        assert np.allclose(xz.matrix, np.kron(x_gate().matrix, h_gate().matrix))
+
+    def test_controlled(self):
+        cnot = x_gate().controlled()
+        assert np.allclose(cnot.matrix, cx_gate().matrix)
+
+    def test_power(self):
+        assert s_gate().power(2).equals(Gate("z", np.diag([1, -1])))
+
+    def test_is_identity(self):
+        assert s_gate().power(4).is_identity()
+        assert not s_gate().is_identity()
+
+    def test_params_preserved_by_dagger(self):
+        from repro.gates import rz_gate
+
+        gate = rz_gate(0.5)
+        assert gate.dagger().params == (0.5,)
+
+
+class TestGateChecks:
+    def test_unitarity(self):
+        assert h_gate().is_unitary()
+        # Non-unitary matrices are allowed (Kraus operators as gates).
+        kraus = Gate("k", np.array([[1, 0], [0, 0.5]]))
+        assert not kraus.is_unitary()
+
+    def test_equals_no_phase_slack(self):
+        z1 = Gate("a", np.diag([1, -1]))
+        z2 = Gate("b", -np.diag([1, -1]))
+        assert not z1.equals(z2)

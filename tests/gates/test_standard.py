@@ -1,0 +1,151 @@
+"""Unit tests for the standard gate zoo."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.gates import (
+    FIXED_GATES,
+    PARAMETRIC_GATES,
+    ccx_gate,
+    ccz_gate,
+    cp_gate,
+    cs_gate,
+    cswap_gate,
+    cx_gate,
+    cz_gate,
+    h_gate,
+    p_gate,
+    rx_gate,
+    ry_gate,
+    rz_gate,
+    rzz_gate,
+    s_gate,
+    sdg_gate,
+    swap_gate,
+    sx_gate,
+    t_gate,
+    tdg_gate,
+    u_gate,
+    unitary_gate,
+    x_gate,
+    y_gate,
+    z_gate,
+)
+from repro.linalg import allclose_up_to_global_phase
+
+
+class TestAlgebraicIdentities:
+    def test_pauli_squares(self):
+        for gate in (x_gate(), y_gate(), z_gate(), h_gate()):
+            assert gate.power(2).is_identity()
+
+    def test_y_equals_ixz(self):
+        y = y_gate().matrix
+        assert np.allclose(y, 1j * x_gate().matrix @ z_gate().matrix)
+
+    def test_s_is_sqrt_z(self):
+        assert np.allclose(
+            s_gate().matrix @ s_gate().matrix, z_gate().matrix
+        )
+
+    def test_t_is_sqrt_s(self):
+        assert np.allclose(
+            t_gate().matrix @ t_gate().matrix, s_gate().matrix
+        )
+
+    def test_sdg_tdg_are_inverses(self):
+        assert np.allclose(
+            s_gate().matrix @ sdg_gate().matrix, np.eye(2)
+        )
+        assert np.allclose(
+            t_gate().matrix @ tdg_gate().matrix, np.eye(2)
+        )
+
+    def test_sx_squared_is_x(self):
+        assert np.allclose(
+            sx_gate().matrix @ sx_gate().matrix, x_gate().matrix
+        )
+
+    def test_h_diagonalises_x(self):
+        h = h_gate().matrix
+        assert np.allclose(h @ x_gate().matrix @ h, z_gate().matrix)
+
+
+class TestRotations:
+    def test_rz_2pi_is_minus_identity(self):
+        assert np.allclose(rz_gate(2 * math.pi).matrix, -np.eye(2))
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        assert allclose_up_to_global_phase(
+            rx_gate(math.pi).matrix, x_gate().matrix
+        )
+
+    def test_ry_pi_is_y_up_to_phase(self):
+        assert allclose_up_to_global_phase(
+            ry_gate(math.pi).matrix, y_gate().matrix
+        )
+
+    def test_p_pi_is_z(self):
+        assert np.allclose(p_gate(math.pi).matrix, z_gate().matrix)
+
+    def test_u_reduces_to_h(self):
+        assert allclose_up_to_global_phase(
+            u_gate(math.pi / 2, 0, math.pi).matrix, h_gate().matrix
+        )
+
+    def test_rzz_diagonal(self):
+        mat = rzz_gate(0.4).matrix
+        assert np.allclose(mat, np.diag(np.diagonal(mat)))
+
+
+class TestTwoQubitGates:
+    def test_cx_action(self):
+        cx = cx_gate().matrix
+        state = np.zeros(4)
+        state[2] = 1  # |10>
+        assert np.argmax(np.abs(cx @ state)) == 3  # -> |11>
+
+    def test_cz_symmetric(self):
+        assert np.allclose(cz_gate().matrix, cz_gate().matrix.T)
+
+    def test_cp_pi_is_cz(self):
+        assert np.allclose(cp_gate(math.pi).matrix, cz_gate().matrix)
+
+    def test_cs_matches_paper(self):
+        assert np.allclose(cs_gate().matrix, np.diag([1, 1, 1, 1j]))
+
+    def test_swap_involution(self):
+        assert swap_gate().power(2).is_identity()
+
+
+class TestThreeQubitGates:
+    def test_ccx_flips_only_on_11(self):
+        mat = ccx_gate().matrix
+        assert np.allclose(mat[:6, :6], np.eye(6))
+        assert mat[6, 7] == 1 and mat[7, 6] == 1
+
+    def test_ccz_phase(self):
+        assert np.allclose(ccz_gate().matrix, np.diag([1] * 7 + [-1]))
+
+    def test_cswap_action(self):
+        mat = cswap_gate().matrix
+        # |1 01> (index 5) -> |1 10> (index 6)
+        assert mat[6, 5] == 1
+
+
+class TestRegistries:
+    def test_fixed_gates_all_unitary(self):
+        for name, factory in FIXED_GATES.items():
+            assert factory().is_unitary(), name
+
+    def test_parametric_gates_unitary(self):
+        for name, factory in PARAMETRIC_GATES.items():
+            nargs = {"u": 3}.get(name, 1)
+            gate = factory(*([0.37] * nargs))
+            assert gate.is_unitary(), name
+
+    def test_unitary_gate_rejects_non_unitary(self):
+        with pytest.raises(ValueError):
+            unitary_gate(np.array([[1, 0], [0, 2]]))

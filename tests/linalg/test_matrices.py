@@ -1,0 +1,162 @@
+"""Unit tests for repro.linalg.matrices."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    allclose_up_to_global_phase,
+    as_matrix,
+    dagger,
+    embed_operator,
+    is_density_matrix,
+    is_hermitian,
+    is_positive_semidefinite,
+    is_unitary,
+    kron_all,
+    num_qubits_of,
+    projector,
+    trace_distance,
+)
+
+
+class TestAsMatrix:
+    def test_accepts_square(self):
+        mat = as_matrix([[1, 0], [0, 1]])
+        assert mat.shape == (2, 2)
+        assert mat.dtype == np.complex128
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            as_matrix([[1, 0, 0], [0, 1, 0]])
+
+    def test_dim_check(self):
+        with pytest.raises(ValueError):
+            as_matrix(np.eye(2), dim=4)
+
+
+class TestDagger:
+    def test_involution(self):
+        mat = np.array([[1, 2j], [3, 4]], dtype=complex)
+        assert np.allclose(dagger(dagger(mat)), mat)
+
+    def test_conjugate_transpose(self):
+        mat = np.array([[0, 1j], [0, 0]], dtype=complex)
+        expected = np.array([[0, 0], [-1j, 0]], dtype=complex)
+        assert np.allclose(dagger(mat), expected)
+
+
+class TestKronAll:
+    def test_empty_is_identity(self):
+        assert np.allclose(kron_all([]), np.eye(1))
+
+    def test_two_factors(self):
+        x = np.array([[0, 1], [1, 0]])
+        z = np.diag([1, -1])
+        assert np.allclose(kron_all([x, z]), np.kron(x, z))
+
+
+class TestPredicates:
+    def test_unitary(self):
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        assert is_unitary(h)
+        assert not is_unitary(np.array([[1, 0], [0, 2]]))
+
+    def test_hermitian(self):
+        assert is_hermitian(np.array([[1, 1j], [-1j, 2]]))
+        assert not is_hermitian(np.array([[1, 1j], [1j, 2]]))
+
+    def test_psd(self):
+        assert is_positive_semidefinite(np.diag([1, 0]))
+        assert not is_positive_semidefinite(np.diag([1, -1]))
+
+    def test_density_matrix(self):
+        assert is_density_matrix(np.diag([0.5, 0.5]))
+        assert not is_density_matrix(np.diag([0.5, 0.6]))
+
+
+class TestNumQubits:
+    def test_powers_of_two(self):
+        assert num_qubits_of(np.eye(8)) == 3
+
+    def test_non_power(self):
+        with pytest.raises(ValueError):
+            num_qubits_of(np.eye(3))
+
+
+class TestGlobalPhase:
+    def test_equal_up_to_phase(self):
+        mat = np.array([[1, 2], [3, 4]], dtype=complex)
+        assert allclose_up_to_global_phase(np.exp(0.7j) * mat, mat)
+
+    def test_not_equal(self):
+        mat = np.eye(2, dtype=complex)
+        assert not allclose_up_to_global_phase(mat, np.diag([1, -1]))
+
+    def test_different_magnitudes(self):
+        mat = np.eye(2, dtype=complex)
+        assert not allclose_up_to_global_phase(2 * mat, mat)
+
+
+class TestEmbedOperator:
+    def test_single_qubit_on_msb(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        full = embed_operator(x, [0], 2)
+        assert np.allclose(full, np.kron(x, np.eye(2)))
+
+    def test_single_qubit_on_lsb(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        full = embed_operator(x, [1], 2)
+        assert np.allclose(full, np.kron(np.eye(2), x))
+
+    def test_two_qubit_ordered(self):
+        cx = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+            dtype=complex,
+        )
+        assert np.allclose(embed_operator(cx, [0, 1], 2), cx)
+
+    def test_two_qubit_reversed(self):
+        cx = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+            dtype=complex,
+        )
+        # CX with control=1, target=0: |a b> -> |a xor b, b>.
+        full = embed_operator(cx, [1, 0], 2)
+        expected = np.zeros((4, 4))
+        for a in range(2):
+            for b in range(2):
+                src = 2 * a + b
+                dst = 2 * (a ^ b) + b
+                expected[dst, src] = 1
+        assert np.allclose(full, expected)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            embed_operator(np.eye(4), [0, 0], 2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            embed_operator(np.eye(2), [5], 2)
+
+    def test_composition_matches_kron(self, rng):
+        a = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        b = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        lhs = embed_operator(a, [0], 2) @ embed_operator(b, [1], 2)
+        assert np.allclose(lhs, np.kron(a, b))
+
+
+class TestProjectorAndDistance:
+    def test_projector(self):
+        vec = np.array([1, 1j]) / np.sqrt(2)
+        proj = projector(vec)
+        assert np.allclose(proj @ proj, proj)
+        assert np.isclose(np.trace(proj), 1)
+
+    def test_trace_distance_orthogonal(self):
+        rho = np.diag([1.0, 0.0])
+        sigma = np.diag([0.0, 1.0])
+        assert np.isclose(trace_distance(rho, sigma), 1.0)
+
+    def test_trace_distance_self(self):
+        rho = np.diag([0.3, 0.7])
+        assert np.isclose(trace_distance(rho, rho), 0.0)

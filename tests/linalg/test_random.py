@@ -1,0 +1,50 @@
+"""Unit tests for repro.linalg.random."""
+
+import numpy as np
+
+from repro.linalg import (
+    dagger,
+    is_density_matrix,
+    is_unitary,
+    random_density_matrix,
+    random_kraus_set,
+    random_statevector,
+    random_unitary,
+)
+
+
+class TestRandomUnitary:
+    def test_is_unitary(self, rng):
+        for dim in (2, 4, 8):
+            assert is_unitary(random_unitary(dim, rng))
+
+    def test_deterministic_with_seed(self):
+        u1 = random_unitary(4, np.random.default_rng(7))
+        u2 = random_unitary(4, np.random.default_rng(7))
+        assert np.allclose(u1, u2)
+
+
+class TestRandomState:
+    def test_normalised(self, rng):
+        vec = random_statevector(8, rng)
+        assert np.isclose(np.linalg.norm(vec), 1.0)
+
+
+class TestRandomDensity:
+    def test_valid_density(self, rng):
+        rho = random_density_matrix(4, rng=rng)
+        assert is_density_matrix(rho, atol=1e-8)
+
+    def test_rank_limits_purity(self, rng):
+        rho = random_density_matrix(8, rank=1, rng=rng)
+        assert np.isclose(np.real(np.trace(rho @ rho)), 1.0, atol=1e-8)
+
+
+class TestRandomKraus:
+    def test_completeness(self, rng):
+        kraus = random_kraus_set(2, 3, rng)
+        acc = sum(dagger(k) @ k for k in kraus)
+        assert np.allclose(acc, np.eye(2), atol=1e-10)
+
+    def test_number_of_operators(self, rng):
+        assert len(random_kraus_set(4, 5, rng)) == 5

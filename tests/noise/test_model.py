@@ -1,0 +1,107 @@
+"""Unit tests for noise insertion policies."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.library import qft
+from repro.noise import (
+    NoiseModel,
+    bit_flip,
+    depolarizing,
+    insert_random_noise,
+    two_qubit_depolarizing,
+)
+
+
+class TestInsertRandomNoise:
+    def test_count(self):
+        noisy = insert_random_noise(qft(3), 5, seed=0)
+        assert noisy.num_noise_sites == 5
+
+    def test_zero_noises(self):
+        noisy = insert_random_noise(qft(3), 0, seed=0)
+        assert noisy.num_noise_sites == 0
+        assert noisy.num_gates == qft(3).num_gates
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            insert_random_noise(qft(3), -1)
+
+    def test_original_untouched(self):
+        ideal = qft(3)
+        before = len(ideal)
+        insert_random_noise(ideal, 4, seed=1)
+        assert len(ideal) == before
+
+    def test_deterministic_with_seed(self):
+        a = insert_random_noise(qft(3), 4, seed=9)
+        b = insert_random_noise(qft(3), 4, seed=9)
+        assert [i.qubits for i in a] == [i.qubits for i in b]
+        assert [i.name for i in a] == [i.name for i in b]
+
+    def test_default_channel_is_paper_depolarizing(self):
+        noisy = insert_random_noise(qft(2), 1, seed=0)
+        site = noisy.noise_instructions()[0]
+        assert site.name == "depolarizing"
+        assert site.num_kraus == 4
+
+    def test_custom_factory(self):
+        noisy = insert_random_noise(
+            qft(2), 2, channel_factory=lambda: bit_flip(0.95), seed=0
+        )
+        assert all(i.name == "bit_flip" for i in noisy.noise_instructions())
+
+    def test_rejects_multiqubit_factory(self):
+        with pytest.raises(ValueError):
+            insert_random_noise(
+                qft(2), 1,
+                channel_factory=lambda: two_qubit_depolarizing(0.9), seed=0,
+            )
+
+    def test_gate_order_preserved(self):
+        ideal = qft(3)
+        noisy = insert_random_noise(ideal, 3, seed=4)
+        ideal_names = [i.name for i in ideal]
+        noisy_gate_names = [i.name for i in noisy if i.is_unitary]
+        assert noisy_gate_names == ideal_names
+
+
+class TestNoiseModel:
+    def test_per_gate_attachment(self):
+        model = NoiseModel().add_all_qubit_quantum_error(
+            depolarizing(0.999), ["h"]
+        )
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).h(1)
+        noisy = model.apply(circuit)
+        assert noisy.num_noise_sites == 2
+
+    def test_two_qubit_gate_gets_noise_on_both(self):
+        model = NoiseModel().add_all_qubit_quantum_error(
+            depolarizing(0.999), ["cx"]
+        )
+        noisy = model.apply(QuantumCircuit(2).cx(0, 1))
+        assert noisy.num_noise_sites == 2
+
+    def test_matching_width_channel(self):
+        model = NoiseModel().add_all_qubit_quantum_error(
+            two_qubit_depolarizing(0.99), ["cx"]
+        )
+        noisy = model.apply(QuantumCircuit(2).cx(0, 1))
+        sites = noisy.noise_instructions()
+        assert len(sites) == 1 and sites[0].qubits == (0, 1)
+
+    def test_default_error(self):
+        model = NoiseModel().set_default_error(depolarizing(0.999))
+        circuit = QuantumCircuit(2).h(0).s(1)
+        assert model.apply(circuit).num_noise_sites == 2
+
+    def test_untouched_without_rules(self):
+        noisy = NoiseModel().apply(QuantumCircuit(1).h(0))
+        assert noisy.num_noise_sites == 0
+
+    def test_noisy_gate_names(self):
+        model = NoiseModel().add_all_qubit_quantum_error(
+            depolarizing(0.9), ["cx", "h"]
+        )
+        assert model.noisy_gate_names == ["cx", "h"]

@@ -1,0 +1,129 @@
+"""Property-based tests for the TDD data structure.
+
+These exercise the canonical-form and algebra invariants on random dense
+tensors: TDD conversion must be a lossless, canonical encoding, and the
+add/contract operations must agree with their dense counterparts.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tdd import TddManager
+
+LABELS = ["v0", "v1", "v2", "v3"]
+
+
+def complex_tensors(rank: int):
+    shape = (2,) * rank
+    finite = st.floats(
+        min_value=-4, max_value=4, allow_nan=False, allow_infinity=False,
+        width=32,
+    )
+    return st.tuples(
+        arrays(np.float64, shape, elements=finite),
+        arrays(np.float64, shape, elements=finite),
+    ).map(lambda pair: pair[0] + 1j * pair[1])
+
+
+@st.composite
+def tensor_with_labels(draw, max_rank=3):
+    rank = draw(st.integers(min_value=0, max_value=max_rank))
+    labels = draw(
+        st.permutations(LABELS).map(lambda p: list(p)[:rank])
+    )
+    data = draw(complex_tensors(rank))
+    return data, labels
+
+
+class TestRoundTrip:
+    @given(tensor_with_labels())
+    @settings(max_examples=80, deadline=None)
+    def test_from_to_array(self, case):
+        data, labels = case
+        manager = TddManager(LABELS)
+        tdd = manager.from_array(data, labels)
+        assert np.allclose(tdd.to_array(labels), data, atol=1e-9)
+
+    @given(tensor_with_labels())
+    @settings(max_examples=60, deadline=None)
+    def test_canonicity(self, case):
+        """Two structurally different constructions of the same tensor
+        must produce the identical node."""
+        data, labels = case
+        manager = TddManager(LABELS)
+        a = manager.from_array(data, labels)
+        # Rebuild with axes permuted (and matching label permutation).
+        if labels:
+            perm = list(reversed(range(len(labels))))
+            data2 = np.transpose(data, perm)
+            labels2 = [labels[i] for i in perm]
+        else:
+            data2, labels2 = data, labels
+        b = manager.from_array(data2, labels2)
+        assert a.node is b.node
+        assert abs(a.weight - b.weight) < 1e-9
+
+
+class TestAlgebra:
+    @given(tensor_with_labels(), tensor_with_labels())
+    @settings(max_examples=60, deadline=None)
+    def test_add_matches_dense(self, case_a, case_b):
+        data_a, labels_a = case_a
+        data_b, labels_b = case_b
+        manager = TddManager(LABELS)
+        ta = manager.from_array(data_a, labels_a)
+        tb = manager.from_array(data_b, labels_b)
+        total = ta.add(tb)
+        out_labels = LABELS  # broadcast everything for comparison
+        dense_a = ta.to_array(out_labels)
+        dense_b = tb.to_array(out_labels)
+        assert np.allclose(
+            total.to_array(out_labels), dense_a + dense_b, atol=1e-8
+        )
+
+    @given(tensor_with_labels(), tensor_with_labels(),
+           st.sets(st.sampled_from(LABELS), max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_contract_matches_dense(self, case_a, case_b, sum_set):
+        data_a, labels_a = case_a
+        data_b, labels_b = case_b
+        manager = TddManager(LABELS)
+        ta = manager.from_array(data_a, labels_a)
+        tb = manager.from_array(data_b, labels_b)
+        sum_labels = sorted(sum_set)
+        result = manager.contract(
+            (ta.weight, ta.node), (tb.weight, tb.node),
+            [manager.var_position[lab] for lab in sum_labels],
+        )
+        from repro.tdd import Tdd
+
+        out = Tdd(manager, result[0], result[1])
+        keep = [lab for lab in LABELS if lab not in sum_set]
+        dense_a = ta.to_array(LABELS)
+        dense_b = tb.to_array(LABELS)
+        product = dense_a * dense_b
+        axes = tuple(LABELS.index(lab) for lab in sum_labels)
+        expected = product.sum(axis=axes) if axes else product
+        assert np.allclose(out.to_array(keep), expected, atol=1e-8)
+
+    @given(tensor_with_labels())
+    @settings(max_examples=40, deadline=None)
+    def test_add_self_equals_double(self, case):
+        data, labels = case
+        manager = TddManager(LABELS)
+        tdd = manager.from_array(data, labels)
+        doubled = tdd.add(tdd)
+        assert np.allclose(
+            doubled.to_array(labels), 2 * data, atol=1e-8
+        )
+
+    @given(tensor_with_labels())
+    @settings(max_examples=40, deadline=None)
+    def test_additive_inverse(self, case):
+        data, labels = case
+        manager = TddManager(LABELS)
+        tdd = manager.from_array(data, labels)
+        neg = manager.from_array(-data, labels)
+        assert tdd.add(neg).scalar() == 0.0

@@ -1,0 +1,96 @@
+"""Unit tests for the Monte-Carlo trajectory simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.noise import bit_flip, depolarizing, evolve_density
+from repro.simulation import TrajectorySimulator, run_trajectory
+
+
+def noisy_bell():
+    circuit = QuantumCircuit(2).h(0)
+    circuit.append(depolarizing(0.9), [0])
+    circuit.cx(0, 1)
+    circuit.append(bit_flip(0.85), [1])
+    return circuit
+
+
+class TestRunTrajectory:
+    def test_noiseless_is_deterministic(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        traj = run_trajectory(circuit, rng=np.random.default_rng(0))
+        expected = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        assert np.allclose(traj.state, expected)
+        assert traj.selections == []
+        assert traj.probability == 1.0
+
+    def test_state_normalised(self):
+        traj = run_trajectory(noisy_bell(), rng=np.random.default_rng(3))
+        assert np.isclose(np.linalg.norm(traj.state), 1.0)
+
+    def test_selections_recorded(self):
+        traj = run_trajectory(noisy_bell(), rng=np.random.default_rng(3))
+        assert len(traj.selections) == 2
+        assert 0.0 < traj.probability <= 1.0
+
+    def test_custom_initial_state(self):
+        circuit = QuantumCircuit(1).x(0)
+        initial = np.array([0, 1], dtype=complex)
+        traj = run_trajectory(circuit, initial=initial,
+                              rng=np.random.default_rng(0))
+        assert np.allclose(traj.state, [1, 0])
+
+    def test_unnormalised_initial_rejected(self):
+        with pytest.raises(ValueError):
+            run_trajectory(QuantumCircuit(1), initial=np.array([1.0, 1.0]))
+
+
+class TestTrajectorySimulator:
+    def test_density_matrix_converges(self):
+        """Ensemble average matches the exact density-matrix evolution."""
+        circuit = noisy_bell()
+        exact = evolve_density(circuit)
+        approx = TrajectorySimulator(shots=3000, seed=7).density_matrix(
+            circuit
+        )
+        assert np.max(np.abs(approx - exact)) < 0.05
+
+    def test_counts_sum_to_shots(self):
+        sim = TrajectorySimulator(shots=200, seed=1)
+        counts = sim.sample_counts(noisy_bell())
+        assert sum(counts.values()) == 200
+        assert all(len(key) == 2 for key in counts)
+
+    def test_bell_counts_correlated(self):
+        sim = TrajectorySimulator(shots=500, seed=2)
+        counts = sim.sample_counts(QuantumCircuit(2).h(0).cx(0, 1))
+        assert set(counts) == {"00", "11"}
+
+    def test_expected_fidelity_tracks_noise(self):
+        ideal = QuantumCircuit(2).h(0).cx(0, 1)
+        light = QuantumCircuit(2).h(0)
+        light.append(depolarizing(0.99), [0])
+        light.cx(0, 1)
+        heavy = QuantumCircuit(2).h(0)
+        heavy.append(depolarizing(0.6), [0])
+        heavy.cx(0, 1)
+        sim = TrajectorySimulator(shots=400, seed=5)
+        f_light = sim.expected_fidelity(light, ideal)
+        f_heavy = sim.expected_fidelity(heavy, ideal)
+        assert f_light > f_heavy
+
+    def test_fidelity_matches_density_matrix_path(self):
+        """E[|<target|psi>|^2] equals <target| rho |target>."""
+        ideal = QuantumCircuit(2).h(0).cx(0, 1)
+        noisy = noisy_bell()
+        target = ideal.statevector()
+        rho = evolve_density(noisy)
+        exact = float(np.real(np.conjugate(target) @ rho @ target))
+        sim = TrajectorySimulator(shots=4000, seed=11)
+        estimate = sim.expected_fidelity(noisy, ideal)
+        assert abs(estimate - exact) < 0.03
+
+    def test_invalid_shots(self):
+        with pytest.raises(ValueError):
+            TrajectorySimulator(shots=0)

@@ -1,0 +1,87 @@
+"""Unit tests for TDD network contraction."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.library import bernstein_vazirani, qft
+from repro.tdd import TddManager, contract_network, contract_network_scalar
+from repro.tensornet import (
+    ContractionStats,
+    TensorNetwork,
+    Tensor,
+    circuit_to_network,
+    close_trace,
+)
+
+
+class TestScalarAgreementWithDense:
+    @pytest.mark.parametrize("build", [
+        lambda: QuantumCircuit(2).h(0).cx(0, 1),
+        lambda: qft(3),
+        lambda: bernstein_vazirani(4),
+        lambda: QuantumCircuit(3).h(0).cx(0, 1).t(1).cx(1, 2).s(2),
+    ])
+    def test_closed_trace(self, build):
+        circuit = build()
+        net = close_trace(circuit_to_network(circuit))
+        dense = net.contract_scalar()
+        tdd_val = contract_network_scalar(net)
+        assert np.isclose(tdd_val, dense)
+
+    def test_with_self_loop_tensor(self, rng):
+        data = rng.normal(size=(2, 2, 2))
+        net = TensorNetwork([
+            Tensor(data, ["a", "a", "b"]),
+            Tensor(rng.normal(size=2), ["b"]),
+        ])
+        assert np.isclose(
+            contract_network_scalar(net), net.contract_scalar()
+        )
+
+    def test_disconnected_components(self, rng):
+        a = rng.normal(size=(2, 2))
+        b = rng.normal(size=(2, 2))
+        net = TensorNetwork([
+            Tensor(a, ["i", "j"]), Tensor(a, ["j", "i"]),
+            Tensor(b, ["k", "l"]), Tensor(b, ["l", "k"]),
+        ])
+        assert np.isclose(
+            contract_network_scalar(net), net.contract_scalar()
+        )
+
+
+class TestOpenNetworks:
+    def test_open_legs_preserved(self, rng):
+        a = rng.normal(size=(2, 2))
+        b = rng.normal(size=(2, 2))
+        net = TensorNetwork([
+            Tensor(a, ["i", "j"]), Tensor(b, ["j", "k"]),
+        ])
+        result = contract_network(net)
+        assert result.support_labels() == {"i", "k"}
+        assert np.allclose(result.to_array(["i", "k"]), a @ b)
+
+    def test_scalar_on_open_network_fails(self, rng):
+        net = TensorNetwork([Tensor(rng.normal(size=2), ["i"])])
+        with pytest.raises(ValueError):
+            contract_network_scalar(net)
+
+
+class TestManagerReuse:
+    def test_shared_manager_across_contractions(self):
+        circuit = qft(3)
+        net = close_trace(circuit_to_network(circuit))
+        manager = TddManager(net.all_indices())
+        v1 = contract_network_scalar(net, manager=manager)
+        hits_before = manager.stats["cont_cache_hits"]
+        v2 = contract_network_scalar(net, manager=manager)
+        assert np.isclose(v1, v2)
+        assert manager.stats["cont_cache_hits"] > hits_before
+
+    def test_stats_max_nodes_positive(self):
+        circuit = qft(3)
+        net = close_trace(circuit_to_network(circuit))
+        stats = ContractionStats()
+        contract_network_scalar(net, stats=stats)
+        assert stats.max_nodes >= 2

@@ -1,0 +1,51 @@
+"""Unit tests for TDD Graphviz export and profiling helpers."""
+
+import numpy as np
+
+from repro.tdd import TddManager, node_count_by_level, to_dot
+
+
+def sample_tdd():
+    manager = TddManager(["a", "b"])
+    data = np.array([[1.0, 0.0], [0.5, 1j]])
+    return manager.from_array(data, ["a", "b"])
+
+
+class TestToDot:
+    def test_contains_header_and_terminal(self):
+        dot = to_dot(sample_tdd())
+        assert dot.startswith("digraph tdd {")
+        assert 'shape=box, label="1"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_variable_labels_present(self):
+        dot = to_dot(sample_tdd())
+        assert 'label="a"' in dot
+        assert 'label="b"' in dot
+
+    def test_low_edges_dashed(self):
+        dot = to_dot(sample_tdd())
+        assert "style=dashed" in dot
+        assert "style=solid" in dot
+
+    def test_scalar_diagram(self):
+        manager = TddManager(["a"])
+        dot = to_dot(manager.scalar(2.0))
+        assert 'label="2"' in dot
+
+    def test_complex_weight_formatting(self):
+        manager = TddManager(["a"])
+        tdd = manager.from_array(np.array([1.0, 1j]), ["a"])
+        dot = to_dot(tdd)
+        assert "1i" in dot
+
+
+class TestNodeCounts:
+    def test_levels(self):
+        counts = node_count_by_level(sample_tdd())
+        assert counts["a"] == 1
+        assert counts["b"] >= 1
+
+    def test_scalar_has_no_levels(self):
+        manager = TddManager(["a"])
+        assert node_count_by_level(manager.scalar(1.0)) == {}

@@ -1,0 +1,210 @@
+"""Unit tests for the TDD manager: construction, canonicity, operations."""
+
+import numpy as np
+import pytest
+
+from repro.tdd import TddManager, round_weight
+
+
+@pytest.fixture
+def manager():
+    return TddManager([f"x{i}" for i in range(6)])
+
+
+class TestFromArray:
+    def test_roundtrip(self, manager, rng):
+        data = rng.normal(size=(2, 2, 2)) + 1j * rng.normal(size=(2, 2, 2))
+        tdd = manager.from_array(data, ["x0", "x2", "x4"])
+        assert np.allclose(tdd.to_array(["x0", "x2", "x4"]), data)
+
+    def test_axis_order_independent(self, manager, rng):
+        data = rng.normal(size=(2, 2))
+        a = manager.from_array(data, ["x1", "x3"])
+        b = manager.from_array(data.T, ["x3", "x1"])
+        assert a.node is b.node and a.weight == b.weight
+
+    def test_scalar(self, manager):
+        tdd = manager.scalar(2.5j)
+        assert tdd.is_scalar and tdd.scalar() == 2.5j
+
+    def test_zero_tensor_canonical(self, manager):
+        tdd = manager.from_array(np.zeros((2, 2)), ["x0", "x1"])
+        assert tdd.is_scalar and tdd.scalar() == 0.0
+
+    def test_unknown_label(self, manager):
+        with pytest.raises(KeyError):
+            manager.from_array(np.zeros(2), ["zz"])
+
+    def test_duplicate_labels_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.from_array(np.zeros((2, 2)), ["x0", "x0"])
+
+    def test_non_binary_dimension(self, manager):
+        with pytest.raises(ValueError):
+            manager.from_array(np.zeros((3,)), ["x0"])
+
+    def test_rank_mismatch(self, manager):
+        with pytest.raises(ValueError):
+            manager.from_array(np.zeros((2, 2)), ["x0"])
+
+
+class TestCanonicity:
+    def test_identical_tensors_share_node(self, manager, rng):
+        data = rng.normal(size=(2, 2))
+        a = manager.from_array(data, ["x0", "x1"])
+        b = manager.from_array(data.copy(), ["x0", "x1"])
+        assert a.node is b.node
+
+    def test_scaled_tensor_shares_node(self, manager, rng):
+        data = rng.normal(size=(2, 2)) + 0.5
+        a = manager.from_array(data, ["x0", "x1"])
+        b = manager.from_array(3.0 * data, ["x0", "x1"])
+        assert a.node is b.node
+        assert np.isclose(b.weight / a.weight, 3.0)
+
+    def test_identity_tensor_node_count(self, manager):
+        tdd = manager.from_array(np.eye(2), ["x0", "x1"])
+        # identity = x0-node with two x1-children: 3 internal + terminal.
+        assert tdd.num_nodes() <= 4
+
+    def test_constant_tensor_is_terminal(self, manager):
+        tdd = manager.from_array(np.full((2, 2), 5.0), ["x0", "x1"])
+        assert tdd.is_scalar
+        assert np.isclose(tdd.weight, 5.0)
+
+    def test_weight_rounding(self):
+        val = round_weight(complex(1e-15, -0.0))
+        assert val == 0.0 and str(val.real) == "0.0"
+
+
+class TestAdd:
+    def test_matches_dense(self, manager, rng):
+        a = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        b = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        ta = manager.from_array(a, ["x0", "x1"])
+        tb = manager.from_array(b, ["x0", "x1"])
+        assert np.allclose(ta.add(tb).to_array(["x0", "x1"]), a + b)
+
+    def test_disjoint_supports_broadcast(self, manager, rng):
+        a = rng.normal(size=2)
+        b = rng.normal(size=2)
+        ta = manager.from_array(a, ["x0"])
+        tb = manager.from_array(b, ["x1"])
+        total = ta.add(tb).to_array(["x0", "x1"])
+        expected = a[:, None] + b[None, :]
+        assert np.allclose(total, expected)
+
+    def test_add_zero(self, manager, rng):
+        a = rng.normal(size=(2, 2))
+        ta = manager.from_array(a, ["x0", "x1"])
+        tz = manager.from_array(np.zeros((2, 2)), ["x0", "x1"])
+        assert ta.add(tz).node is ta.node
+
+    def test_add_cancellation(self, manager, rng):
+        a = rng.normal(size=(2, 2))
+        ta = manager.from_array(a, ["x0", "x1"])
+        tneg = manager.from_array(-a, ["x0", "x1"])
+        assert ta.add(tneg).scalar() == 0.0
+
+    def test_cross_manager_rejected(self, manager, rng):
+        other = TddManager(["x0"])
+        a = manager.from_array(rng.normal(size=2), ["x0"])
+        b = other.from_array(rng.normal(size=2), ["x0"])
+        with pytest.raises(ValueError):
+            a.add(b)
+
+
+class TestContract:
+    def test_matrix_multiply(self, manager, rng):
+        a = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        b = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        ta = manager.from_array(a, ["x0", "x1"])
+        tb = manager.from_array(b, ["x1", "x2"])
+        out = ta.contract(tb, ["x1"])
+        assert np.allclose(out.to_array(["x0", "x2"]), a @ b)
+
+    def test_hadamard_product_on_shared_unsummed(self, manager, rng):
+        a = rng.normal(size=2)
+        b = rng.normal(size=2)
+        ta = manager.from_array(a, ["x0"])
+        tb = manager.from_array(b, ["x0"])
+        out = ta.contract(tb, [])
+        assert np.allclose(out.to_array(["x0"]), a * b)
+
+    def test_inner_product(self, manager, rng):
+        a = rng.normal(size=(2, 2))
+        b = rng.normal(size=(2, 2))
+        ta = manager.from_array(a, ["x0", "x1"])
+        tb = manager.from_array(b, ["x0", "x1"])
+        out = ta.contract(tb, ["x0", "x1"])
+        assert np.isclose(out.scalar(), np.sum(a * b))
+
+    def test_free_summed_variable_gives_factor_two(self, manager, rng):
+        # Summing over a variable absent from both operands doubles.
+        a = rng.normal(size=2)
+        ta = manager.from_array(a, ["x0"])
+        tb = manager.scalar(1.0)
+        out = ta.contract(tb, ["x5"])
+        assert np.allclose(out.to_array(["x0"]), 2 * a)
+
+    def test_outer_product(self, manager, rng):
+        a = rng.normal(size=2)
+        b = rng.normal(size=2)
+        out = manager.from_array(a, ["x0"]).contract(
+            manager.from_array(b, ["x3"]), []
+        )
+        assert np.allclose(
+            out.to_array(["x0", "x3"]), np.outer(a, b)
+        )
+
+    def test_contract_with_zero(self, manager, rng):
+        a = rng.normal(size=(2, 2))
+        ta = manager.from_array(a, ["x0", "x1"])
+        tz = manager.scalar(0.0)
+        assert ta.contract(tz, ["x0", "x1"]).scalar() == 0.0
+
+
+class TestComputedTables:
+    def test_cache_hits_accumulate(self, manager, rng):
+        a = rng.normal(size=(2, 2))
+        b = rng.normal(size=(2, 2))
+        ta = manager.from_array(a, ["x0", "x1"])
+        tb = manager.from_array(b, ["x1", "x2"])
+        ta.contract(tb, ["x1"])
+        before = manager.stats["cont_cache_hits"]
+        ta.contract(tb, ["x1"])
+        assert manager.stats["cont_cache_hits"] > before
+
+    def test_clear_computed_tables(self, manager, rng):
+        a = rng.normal(size=(2, 2))
+        ta = manager.from_array(a, ["x0", "x1"])
+        tb = manager.from_array(a, ["x1", "x2"])
+        ta.contract(tb, ["x1"])
+        manager.clear_computed_tables()
+        hits_before = manager.stats["cont_cache_hits"]
+        ta.contract(tb, ["x1"])
+        # After clearing, the top-level call cannot hit the cache.
+        assert manager.stats["cont_cache_hits"] >= hits_before
+
+    def test_extend_order(self, manager):
+        manager.extend_order(["y0", "x0"])
+        assert "y0" in manager.var_position
+        assert manager.var_order.index("y0") == 6
+
+
+class TestToArray:
+    def test_superset_labels_broadcast(self, manager, rng):
+        a = rng.normal(size=2)
+        ta = manager.from_array(a, ["x1"])
+        out = ta.to_array(["x0", "x1"])
+        assert np.allclose(out, np.stack([a, a]))
+
+    def test_missing_support_label_rejected(self, manager, rng):
+        ta = manager.from_array(rng.normal(size=(2, 2)), ["x0", "x1"])
+        with pytest.raises(ValueError):
+            ta.to_array(["x0"])
+
+    def test_axis_permutation(self, manager, rng):
+        data = rng.normal(size=(2, 2))
+        ta = manager.from_array(data, ["x0", "x1"])
+        assert np.allclose(ta.to_array(["x1", "x0"]), data.T)

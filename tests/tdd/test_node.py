@@ -1,0 +1,80 @@
+"""Unit tests for TDD nodes and weight canonicalisation."""
+
+import numpy as np
+
+from repro.tdd import TERMINAL_VAR, TddManager, TddNode, count_nodes, round_weight
+
+
+class TestRoundWeight:
+    def test_collapses_negative_zero(self):
+        val = round_weight(complex(-0.0, -0.0))
+        assert str(val.real) == "0.0" and str(val.imag) == "0.0"
+
+    def test_rounds_jitter(self):
+        assert round_weight(1 + 1e-14j) == 1.0
+
+    def test_preserves_significant_digits(self):
+        assert round_weight(0.123456789012 + 0j) == 0.123456789012
+
+
+class TestTerminal:
+    def test_terminal_flag(self):
+        node = TddNode(TERMINAL_VAR)
+        assert node.is_terminal
+
+    def test_cofactors_of_non_testing_node(self):
+        manager = TddManager(["a", "b"])
+        weight, node = manager.make_node(
+            1, (1.0, manager.terminal), (2.0, manager.terminal)
+        )
+        # Node tests var 1; cofactor w.r.t. var 0 returns the node itself.
+        (lw, ln), (hw, hn) = node.cofactors(0)
+        assert ln is node and hn is node and lw == hw == 1.0
+
+
+class TestCountNodes:
+    def test_terminal_only(self):
+        manager = TddManager(["a"])
+        assert count_nodes(manager.terminal) == 1
+
+    def test_shared_subgraphs_counted_once(self):
+        manager = TddManager(["a", "b"])
+        # f(a,b) = b on both branches of a -> the b-node is shared but the
+        # a-node is redundant and skipped by reduction.
+        tdd = manager.from_array(np.array([[0, 1], [0, 1]]), ["a", "b"])
+        assert tdd.num_nodes() == 2  # b-node + terminal
+
+
+class TestMakeNode:
+    def test_zero_edges_collapse(self):
+        manager = TddManager(["a"])
+        weight, node = manager.make_node(
+            0, (0.0, manager.terminal), (0.0, manager.terminal)
+        )
+        assert weight == 0.0 and node is manager.terminal
+
+    def test_redundant_node_skipped(self):
+        manager = TddManager(["a"])
+        weight, node = manager.make_node(
+            0, (2.0, manager.terminal), (2.0, manager.terminal)
+        )
+        assert node is manager.terminal and weight == 2.0
+
+    def test_normalisation_by_larger_magnitude(self):
+        manager = TddManager(["a"])
+        weight, node = manager.make_node(
+            0, (1.0, manager.terminal), (-3.0, manager.terminal)
+        )
+        assert np.isclose(weight, -3.0)
+        assert np.isclose(node.high_weight, 1.0)
+        assert np.isclose(node.low_weight, -1 / 3)
+
+    def test_hash_consing(self):
+        manager = TddManager(["a"])
+        _, n1 = manager.make_node(
+            0, (1.0, manager.terminal), (2.0, manager.terminal)
+        )
+        _, n2 = manager.make_node(
+            0, (2.0, manager.terminal), (4.0, manager.terminal)
+        )
+        assert n1 is n2

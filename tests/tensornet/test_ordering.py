@@ -1,0 +1,100 @@
+"""Unit tests for contraction-order heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.library import qft
+from repro.tensornet import (
+    ORDER_HEURISTICS,
+    circuit_to_network,
+    close_trace,
+    contraction_order,
+    interaction_graph,
+    min_fill_order,
+    sequential_order,
+    tree_decomposition_order,
+)
+
+
+def sample_network():
+    circuit = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2).t(2)
+    return close_trace(circuit_to_network(circuit))
+
+
+class TestOrders:
+    @pytest.mark.parametrize("method", sorted(ORDER_HEURISTICS))
+    def test_order_is_permutation_of_indices(self, method):
+        net = sample_network()
+        order = contraction_order(net, method)
+        assert sorted(order) == sorted(net.all_indices())
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            contraction_order(sample_network(), "magic")
+
+    @pytest.mark.parametrize("method", sorted(ORDER_HEURISTICS))
+    def test_all_orders_give_same_trace(self, method):
+        circuit = qft(3)
+        net = close_trace(circuit_to_network(circuit))
+        order = contraction_order(net, method)
+        value = net.contract_scalar(order=order)
+        assert np.isclose(value, np.trace(circuit.to_matrix()))
+
+    def test_sequential_is_first_occurrence(self):
+        net = sample_network()
+        assert sequential_order(net) == net.all_indices()
+
+
+class TestInteractionGraph:
+    def test_vertices_are_indices(self):
+        net = sample_network()
+        graph = interaction_graph(net)
+        assert set(graph.nodes) == set(net.all_indices())
+
+    def test_cooccurring_indices_connected(self):
+        net = sample_network()
+        graph = interaction_graph(net)
+        for tensor in net.tensors:
+            labels = list(dict.fromkeys(tensor.indices))
+            for i, a in enumerate(labels):
+                for b in labels[i + 1:]:
+                    assert graph.has_edge(a, b)
+
+
+class TestTreeDecomposition:
+    def test_covers_isolated_vertices(self):
+        # A network with a disconnected scalar-ish component.
+        from repro.tensornet import TensorNetwork, identity_tensor
+
+        net = TensorNetwork([
+            identity_tensor("a", "b"),
+            identity_tensor("c", "d"),
+        ])
+        order = tree_decomposition_order(net)
+        assert sorted(order) == ["a", "b", "c", "d"]
+
+    def test_quality_on_ladder(self):
+        """On a QFT trace network the tree order should not be worse than
+        sequential by more than the intermediate-size metric."""
+        from repro.tensornet import ContractionStats
+
+        circuit = qft(4)
+        net = close_trace(circuit_to_network(circuit))
+        seq_stats, tree_stats = ContractionStats(), ContractionStats()
+        net.copy().contract_scalar(
+            order=sequential_order(net), stats=seq_stats
+        )
+        net.copy().contract_scalar(
+            order=tree_decomposition_order(net), stats=tree_stats
+        )
+        assert (
+            tree_stats.max_intermediate_size
+            <= max(seq_stats.max_intermediate_size, 64)
+        )
+
+
+class TestMinFill:
+    def test_deterministic(self):
+        net = sample_network()
+        assert min_fill_order(net) == min_fill_order(net)

@@ -1,0 +1,80 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import qasm
+from repro.cli import build_parser, load_noisy, main
+from repro.library import qft
+
+
+@pytest.fixture
+def qasm_file(tmp_path):
+    path = tmp_path / "qft3.qasm"
+    qasm.dump(qft(3), path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_check_defaults(self, qasm_file):
+        args = build_parser().parse_args(["check", qasm_file])
+        assert args.epsilon == 0.01
+        assert args.algorithm == "auto"
+
+
+class TestLoadNoisy:
+    def test_random_insertion(self, qasm_file):
+        args = build_parser().parse_args(
+            ["check", qasm_file, "--noises", "3", "--seed", "1"]
+        )
+        ideal, noisy = load_noisy(args)
+        assert noisy.num_noise_sites == 3
+        assert ideal.num_gates == noisy.num_gates
+
+    def test_every_gate(self, qasm_file):
+        args = build_parser().parse_args(
+            ["check", qasm_file, "--every-gate"]
+        )
+        _, noisy = load_noisy(args)
+        assert noisy.num_noise_sites > qft(3).num_gates  # 2q gates get 2
+
+    def test_channel_selection(self, qasm_file):
+        args = build_parser().parse_args(
+            ["check", qasm_file, "--noises", "1", "--channel", "bit_flip"]
+        )
+        _, noisy = load_noisy(args)
+        assert noisy.noise_instructions()[0].name == "bit_flip"
+
+
+class TestCommands:
+    def test_check_equivalent_exit_zero(self, qasm_file, capsys):
+        code = main(["check", qasm_file, "--noises", "2", "--epsilon", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "EQUIVALENT" in out
+
+    def test_check_not_equivalent_exit_one(self, qasm_file, capsys):
+        code = main([
+            "check", qasm_file, "--noises", "4", "--p", "0.5",
+            "--epsilon", "0.01", "--algorithm", "alg2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NOT EQUIVALENT" in out
+
+    def test_fidelity_prints_number(self, qasm_file, capsys):
+        code = main(["fidelity", qasm_file, "--noises", "2"])
+        out = capsys.readouterr().out.strip()
+        assert code == 0
+        assert 0.9 < float(out) <= 1.0
+
+    def test_fidelity_algorithms_agree(self, qasm_file, capsys):
+        main(["fidelity", qasm_file, "--noises", "2", "--algorithm", "alg1"])
+        f1 = float(capsys.readouterr().out.strip())
+        main(["fidelity", qasm_file, "--noises", "2", "--algorithm", "alg2"])
+        f2 = float(capsys.readouterr().out.strip())
+        assert np.isclose(f1, f2, atol=1e-8)
