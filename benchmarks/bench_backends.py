@@ -1,0 +1,112 @@
+"""Micro-benchmark of the contraction backends on Table-I-style rows.
+
+Times all three registered engines (tdd / dense / einsum) on a handful of
+small Table I workloads, for both algorithms, and writes the raw numbers
+to ``BENCH_backends.json`` so future performance PRs have a trajectory to
+compare against.  Agreement across backends is asserted to 1e-9 while
+we're at it — a benchmark that silently computes the wrong number is
+worse than no benchmark.
+
+Usage::
+
+    python benchmarks/bench_backends.py                  # default rows
+    python benchmarks/bench_backends.py --rows qft3 bv4  # subset
+    python benchmarks/bench_backends.py --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from _common import TABLE1_BY_NAME  # noqa: E402
+
+from repro.backends import available_backends, get_backend  # noqa: E402
+from repro.core import fidelity_collective, fidelity_individual  # noqa: E402
+
+#: Small rows where every backend (including dense) finishes in seconds.
+DEFAULT_ROWS = ["rb2", "qft2", "grover3", "qft3", "bv4"]
+
+#: Alg I on every row is capped so exponential rows can't run away.
+ALG1_MAX_TERMS = 64
+
+
+def bench_cell(workload, backend_name, algorithm, repeats):
+    """Median wall-clock seconds + fidelity for one (row, backend, alg)."""
+    ideal = workload.ideal()
+    noisy = workload.noisy()
+    times = []
+    fidelity = None
+    peak = 0
+    for _ in range(repeats):
+        backend = get_backend(backend_name)  # cold start, like the CLI
+        start = time.perf_counter()
+        if algorithm == "alg1":
+            result = fidelity_individual(
+                noisy, ideal, backend=backend, max_terms=ALG1_MAX_TERMS
+            )
+        else:
+            result = fidelity_collective(noisy, ideal, backend=backend)
+        times.append(time.perf_counter() - start)
+        fidelity = result.fidelity
+        peak = max(peak, result.stats.max_nodes,
+                   result.stats.max_intermediate_size)
+    times.sort()
+    return {
+        "backend": backend_name,
+        "algorithm": algorithm,
+        "median_seconds": times[len(times) // 2],
+        "best_seconds": times[0],
+        "fidelity": fidelity,
+        "peak_size": peak,
+        "repeats": repeats,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", nargs="*", default=DEFAULT_ROWS)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", default="BENCH_backends.json")
+    args = parser.parse_args(argv)
+
+    backends = available_backends()
+    report = {"rows": {}, "backends": backends}
+    for name in args.rows:
+        workload = TABLE1_BY_NAME[name]
+        cells = []
+        for algorithm in ("alg2", "alg1"):
+            values = {}
+            for backend_name in backends:
+                cell = bench_cell(workload, backend_name, algorithm,
+                                  args.repeats)
+                cells.append(cell)
+                values[backend_name] = cell["fidelity"]
+                print(
+                    f"{name:10s} {algorithm:5s} {backend_name:8s} "
+                    f"{cell['median_seconds']:8.4f}s  "
+                    f"F={cell['fidelity']:.10f}"
+                )
+            spread = max(values.values()) - min(values.values())
+            if spread > 1e-9:
+                raise AssertionError(
+                    f"{name}/{algorithm}: backends disagree by {spread:.2e}"
+                )
+        report["rows"][name] = {
+            "num_qubits": workload.ideal().num_qubits,
+            "num_noises": workload.num_noises,
+            "cells": cells,
+        }
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,19 +2,44 @@
 
 A from-scratch reproduction of Hong, Ying, Feng, Zhou & Li (DAC 2021):
 Jamiolkowski-fidelity-based approximate equivalence checking of noisy
-quantum circuits via tensor-network contraction on Tensor Decision
-Diagrams, with the dense Qiskit-style ``process_fidelity`` baseline.
+quantum circuits via tensor-network contraction, with the dense
+Qiskit-style ``process_fidelity`` baseline.
 
 Quick start
 -----------
->>> from repro import qft, insert_random_noise, EquivalenceChecker
+Configure once, check one pair:
+
+>>> from repro import CheckConfig, CheckSession, qft, insert_random_noise
 >>> ideal = qft(5)
 >>> noisy = insert_random_noise(ideal, num_noises=3, seed=7)
->>> result = EquivalenceChecker(epsilon=0.01).check(ideal, noisy)
+>>> session = CheckSession(CheckConfig(epsilon=0.01))
+>>> result = session.check(ideal, noisy)
 >>> result.equivalent
 True
+>>> result.to_json()  # doctest: +SKIP
+'{"equivalent": true, "verdict": "EQUIVALENT", ...}'
+
+Batch many pairs through one session — backend state (TDD computed
+tables, contraction orders, einsum paths) stays warm across pairs:
+
+>>> pairs = [(ideal, insert_random_noise(ideal, 2, seed=s)) for s in (1, 2)]
+>>> [r.verdict for r in session.check_many(pairs)]
+['EQUIVALENT', 'EQUIVALENT']
+
+Contraction engines are pluggable: ``CheckConfig(backend="tdd")`` (the
+paper's Tensor Decision Diagrams), ``"dense"`` (pairwise tensordot) or
+``"einsum"`` (one ``numpy.einsum`` expression with an optimised path);
+register your own via :func:`repro.backends.register_backend`.  The
+kwargs-style :class:`EquivalenceChecker` front end is deprecated but
+fully supported — see ``docs/api.md`` for the migration path.
 """
 
+from .backends import (
+    ContractionBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .baseline import (
     MemoryLimitExceeded,
     Operator,
@@ -24,7 +49,9 @@ from .baseline import (
 )
 from .circuits import QuantumCircuit
 from .core import (
+    CheckConfig,
     CheckResult,
+    CheckSession,
     EquivalenceChecker,
     FidelityResult,
     approx_equivalent,
@@ -61,7 +88,10 @@ from .tdd import Tdd, TddManager
 __version__ = "0.1.0"
 
 __all__ = [
+    "CheckConfig",
     "CheckResult",
+    "CheckSession",
+    "ContractionBackend",
     "EquivalenceChecker",
     "FidelityResult",
     "Gate",
@@ -75,6 +105,7 @@ __all__ = [
     "TddManager",
     "amplitude_damping",
     "approx_equivalent",
+    "available_backends",
     "average_fidelity_from_jamiolkowski",
     "average_gate_fidelity",
     "bernstein_vazirani",
@@ -83,6 +114,7 @@ __all__ = [
     "depolarizing",
     "fidelity_collective",
     "fidelity_individual",
+    "get_backend",
     "grover",
     "insert_random_noise",
     "jamiolkowski_distance",
@@ -96,4 +128,5 @@ __all__ = [
     "qft",
     "quantum_volume",
     "randomized_benchmarking",
+    "register_backend",
 ]

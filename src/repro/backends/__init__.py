@@ -1,0 +1,50 @@
+"""Pluggable contraction backends.
+
+The protocol lives in :mod:`repro.backends.base`; three engines ship
+built in and pre-registered:
+
+* ``"tdd"`` — Tensor Decision Diagrams (the paper's engine);
+* ``"dense"`` — pairwise ``np.tensordot`` along an elimination order;
+* ``"einsum"`` — one ``numpy.einsum`` expression with a cached
+  optimised path.
+
+Register your own with::
+
+    from repro.backends import ContractionBackend, register_backend
+
+    class MyBackend(ContractionBackend):
+        name = "mine"
+        def contract_scalar(self, network, stats=None,
+                            cacheable_tensor_ids=None):
+            ...
+
+    register_backend("mine", MyBackend)
+"""
+
+from .base import (
+    ContractionBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from .dense import DenseBackend
+from .einsum import NumpyEinsumBackend
+from .tdd import TddBackend
+
+register_backend(TddBackend.name, TddBackend, overwrite=True)
+register_backend(DenseBackend.name, DenseBackend, overwrite=True)
+register_backend(NumpyEinsumBackend.name, NumpyEinsumBackend, overwrite=True)
+
+__all__ = [
+    "ContractionBackend",
+    "DenseBackend",
+    "NumpyEinsumBackend",
+    "TddBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "unregister_backend",
+]

@@ -1,0 +1,173 @@
+"""The pluggable contraction-backend protocol and its registry.
+
+A :class:`ContractionBackend` turns closed tensor networks into scalar
+values.  The checking algorithms (:mod:`repro.core.algorithm1`,
+:mod:`repro.core.algorithm2`) are written against this protocol only, so
+a new engine — sparse, sliced, multi-process, GPU — plugs in by
+subclassing and calling :func:`register_backend`, with no changes to the
+algorithm layer.
+
+Backends are *stateful*: an instance may keep contraction orders,
+decision-diagram managers or einsum paths warm across calls.  That is how
+a :class:`~repro.core.session.CheckSession` amortises setup work over many
+circuit pairs, and how Algorithm I amortises it over many trace terms.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, ClassVar, Dict, List, Optional, Set, Union
+
+from ..tensornet import ContractionStats, TensorNetwork, contraction_order
+from ..tensornet.ordering import ORDER_HEURISTICS
+
+
+class ContractionBackend(abc.ABC):
+    """Contracts closed tensor networks to scalars.
+
+    Parameters
+    ----------
+    order_method:
+        Named ordering heuristic (see
+        :data:`repro.tensornet.ordering.ORDER_HEURISTICS`) used to derive
+        index elimination orders.
+    share_intermediates:
+        Allow the backend to reuse internal state — computed tables,
+        dense→TDD conversion caches, einsum paths — across calls.  The
+        paper's Table II 'Ori.' ablation runs with this off.
+    """
+
+    #: Registry name of the backend; concrete subclasses must override.
+    name: ClassVar[str] = ""
+
+    def __init__(
+        self,
+        order_method: str = "tree_decomposition",
+        share_intermediates: bool = True,
+    ):
+        if order_method not in ORDER_HEURISTICS:
+            raise ValueError(
+                f"unknown ordering method {order_method!r}; "
+                f"choose from {sorted(ORDER_HEURISTICS)}"
+            )
+        self.order_method = order_method
+        self.share_intermediates = share_intermediates
+        self._order_cache: Dict[tuple, List[str]] = {}
+
+    @abc.abstractmethod
+    def contract_scalar(
+        self,
+        network: TensorNetwork,
+        stats: Optional[ContractionStats] = None,
+        cacheable_tensor_ids: Optional[Set[int]] = None,
+    ) -> complex:
+        """Contract a closed ``network`` to its scalar value.
+
+        Parameters
+        ----------
+        network:
+            A closed tensor network (no open indices).
+        stats:
+            Optional collector; backends fill the fields they can
+            (``max_nodes`` for decision diagrams,
+            ``max_intermediate_size`` for dense engines, …).
+        cacheable_tensor_ids:
+            ``id()``\\ s of tensors that are shared *by object identity*
+            with future calls (Algorithm I's template tensors).  Backends
+            may cache per-tensor conversions for exactly these ids and
+            must drop cached conversions of any other tensor after the
+            call.  ``None`` means no cross-call tensor sharing.
+        """
+
+    def order_for(self, network: TensorNetwork) -> List[str]:
+        """Index elimination order, cached per network structure.
+
+        Algorithm I contracts thousands of structurally identical
+        networks; the (possibly expensive) tree-decomposition order is
+        computed once per structure and reused.
+        """
+        key = network.structure_key()
+        order = self._order_cache.get(key)
+        if order is None:
+            order = contraction_order(network, self.order_method)
+            self._order_cache[key] = order
+        return order
+
+    def reset(self) -> None:
+        """Drop all cached state (orders, managers, paths)."""
+        self._order_cache.clear()
+
+    def describe(self) -> Dict[str, object]:
+        """Lightweight description for logs and serialised results."""
+        return {
+            "name": self.name,
+            "order_method": self.order_method,
+            "share_intermediates": self.share_intermediates,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(order_method={self.order_method!r})"
+
+
+#: Factories must accept the protocol keywords ``order_method`` and
+#: ``share_intermediates`` (extra keywords are backend-specific).
+BackendFactory = Callable[..., ContractionBackend]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(
+    name: str, factory: BackendFactory, overwrite: bool = False
+) -> None:
+    """Register a backend factory (usually the class itself) under ``name``.
+
+    Raises ``ValueError`` when the name is taken, unless ``overwrite``.
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"backend {name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _REGISTRY[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (no-op if absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_backends() -> List[str]:
+    """Sorted names of all registered backends."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str, **options) -> ContractionBackend:
+    """Instantiate the backend registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; "
+            f"available: {', '.join(available_backends()) or '(none)'}"
+        ) from None
+    return factory(**options)
+
+
+def resolve_backend(
+    backend: Union[str, ContractionBackend], **options
+) -> ContractionBackend:
+    """Accept either a registry name or a ready backend instance.
+
+    Algorithms call this on their ``backend`` argument: strings go through
+    :func:`get_backend` with ``options``; instances are returned as-is
+    (the caller's configuration wins).
+    """
+    if isinstance(backend, ContractionBackend):
+        return backend
+    if isinstance(backend, str):
+        return get_backend(backend, **options)
+    raise TypeError(
+        f"backend must be a name or a ContractionBackend, got {type(backend)!r}"
+    )

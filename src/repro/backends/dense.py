@@ -1,0 +1,30 @@
+"""The dense ndarray contraction backend.
+
+Pairwise ``np.tensordot`` contraction following the elimination order —
+the engine of :meth:`repro.tensornet.TensorNetwork.contract`, behind the
+:class:`ContractionBackend` protocol.  Memory scales with the largest
+intermediate tensor, so this backend suits small/medium networks and
+serves as the reference implementation for cross-backend tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..tensornet import ContractionStats, TensorNetwork
+from .base import ContractionBackend
+
+
+class DenseBackend(ContractionBackend):
+    """Dense pairwise tensordot contraction."""
+
+    name = "dense"
+
+    def contract_scalar(
+        self,
+        network: TensorNetwork,
+        stats: Optional[ContractionStats] = None,
+        cacheable_tensor_ids: Optional[Set[int]] = None,
+    ) -> complex:
+        order = self.order_for(network)
+        return network.contract_scalar(order=order, stats=stats)

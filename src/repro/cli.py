@@ -5,20 +5,26 @@ Commands
 ``check``
     Decide epsilon-equivalence between an ideal OpenQASM 2 circuit and a
     noisy implementation (either a second QASM file plus a noise model,
-    or random noise injected into the ideal circuit).
+    or random noise injected into the ideal circuit).  ``--json`` emits
+    the full machine-readable result.
 ``fidelity``
-    Print the Jamiolkowski fidelity with a chosen algorithm.
-``bench-row``
-    Run one Table I row (handy for quick scalability spot checks).
+    Print the Jamiolkowski fidelity with a chosen algorithm
+    ('alg1', 'alg2' or the dense-linalg baseline 'dense').
+``batch``
+    Check many QASM pairs listed in a manifest file through one shared
+    :class:`~repro.core.session.CheckSession`, streaming one JSON result
+    per line (JSONL).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from .backends import available_backends
 from .circuits import qasm
-from .core import EquivalenceChecker, fidelity_collective, fidelity_individual
+from .core import CheckConfig, CheckSession, jamiolkowski_fidelity
 from .noise import (
     NoiseModel,
     amplitude_damping,
@@ -29,6 +35,7 @@ from .noise import (
     phase_damping,
     phase_flip,
 )
+from .tensornet.ordering import ORDER_HEURISTICS
 
 CHANNELS = {
     "depolarizing": depolarizing,
@@ -56,12 +63,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="auto",
         choices=["auto", "alg1", "alg2", "dense"],
     )
+    _add_engine_args(check)
+    check.add_argument(
+        "--json", action="store_true",
+        help="emit the full result as one JSON object",
+    )
 
     fidelity = sub.add_parser("fidelity", help="compute F_J")
     _add_circuit_args(fidelity)
     fidelity.add_argument(
-        "--algorithm", default="alg2", choices=["alg1", "alg2"]
+        "--algorithm", default="alg2", choices=["alg1", "alg2", "dense"]
     )
+    _add_engine_args(fidelity)
+
+    batch = sub.add_parser(
+        "batch", help="check a manifest of QASM pairs, streaming JSONL"
+    )
+    batch.add_argument(
+        "manifest",
+        help="text file: one 'ideal.qasm [noisy.qasm]' pair per line "
+        "('#' starts a comment); as with 'check', the noise flags apply "
+        "on top of the noisy circuit — or of the ideal one when noisy "
+        "is omitted",
+    )
+    _add_noise_args(batch)
+    batch.add_argument(
+        "--epsilon", type=float, default=0.01, help="error threshold"
+    )
+    batch.add_argument(
+        "--algorithm", default="auto",
+        choices=["auto", "alg1", "alg2", "dense"],
+    )
+    _add_engine_args(batch)
 
     return parser
 
@@ -72,6 +105,10 @@ def _add_circuit_args(sub: argparse.ArgumentParser) -> None:
         "--noisy", default=None,
         help="noisy circuit QASM (noise applied on top per --channel)",
     )
+    _add_noise_args(sub)
+
+
+def _add_noise_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--channel", default="depolarizing", choices=sorted(CHANNELS),
         help="noise channel type",
@@ -91,30 +128,57 @@ def _add_circuit_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--seed", type=int, default=0, help="noise placement seed")
 
 
+def _add_engine_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--backend", default="tdd", choices=available_backends(),
+        help="contraction backend",
+    )
+    sub.add_argument(
+        "--order-method", default="tree_decomposition",
+        choices=sorted(ORDER_HEURISTICS),
+        help="index elimination order heuristic",
+    )
+
+
+def _noisy_from(args, base):
+    """Apply the CLI noise flags to a loaded base circuit."""
+    factory = lambda: CHANNELS[args.channel](args.p)  # noqa: E731
+    if args.every_gate:
+        return NoiseModel().set_default_error(factory).apply(base)
+    if args.noises is not None:
+        return insert_random_noise(
+            base, args.noises, channel_factory=factory, seed=args.seed
+        )
+    return base
+
+
 def load_noisy(args):
     """Materialise the (ideal, noisy) pair from CLI arguments."""
     ideal = qasm.load(args.ideal)
     base = qasm.load(args.noisy) if args.noisy else ideal
-    factory = lambda: CHANNELS[args.channel](args.p)  # noqa: E731
-    if args.every_gate:
-        noisy = NoiseModel().set_default_error(factory).apply(base)
-    elif args.noises is not None:
-        noisy = insert_random_noise(
-            base, args.noises, channel_factory=factory, seed=args.seed
+    return ideal, _noisy_from(args, base)
+
+
+def _session_from(args) -> CheckSession:
+    return CheckSession(
+        CheckConfig(
+            epsilon=args.epsilon,
+            algorithm=args.algorithm,
+            backend=args.backend,
+            order_method=args.order_method,
         )
-    else:
-        noisy = base
-    return ideal, noisy
+    )
 
 
 def cmd_check(args) -> int:
     ideal, noisy = load_noisy(args)
-    checker = EquivalenceChecker(
-        epsilon=args.epsilon, algorithm=args.algorithm
-    )
-    result = checker.check(ideal, noisy)
+    result = _session_from(args).check(ideal, noisy)
+    if args.json:
+        print(result.to_json())
+        return 0 if result.equivalent else 1
     bound = " (lower bound)" if result.is_lower_bound else ""
     print(f"algorithm : {result.algorithm}")
+    print(f"backend   : {result.backend}")
     print(f"fidelity  : {result.fidelity:.6f}{bound}")
     print(f"epsilon   : {result.epsilon}")
     print(f"verdict   : {'EQUIVALENT' if result.equivalent else 'NOT EQUIVALENT'}")
@@ -126,12 +190,55 @@ def cmd_check(args) -> int:
 
 def cmd_fidelity(args) -> int:
     ideal, noisy = load_noisy(args)
-    if args.algorithm == "alg1":
-        result = fidelity_individual(noisy, ideal)
+    if args.algorithm == "dense":
+        value = jamiolkowski_fidelity(noisy, ideal, algorithm="dense")
     else:
-        result = fidelity_collective(noisy, ideal)
-    print(f"{result.fidelity:.10f}")
+        value = jamiolkowski_fidelity(
+            noisy, ideal,
+            algorithm=args.algorithm,
+            backend=args.backend,
+            order_method=args.order_method,
+        )
+    print(f"{value:.10f}")
     return 0
+
+
+def read_manifest(path):
+    """Yield ``(ideal_path, noisy_path_or_None)`` entries of a manifest."""
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) > 2:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'ideal.qasm [noisy.qasm]', "
+                    f"got {len(parts)} fields"
+                )
+            yield parts[0], parts[1] if len(parts) == 2 else None
+
+
+def cmd_batch(args) -> int:
+    session = _session_from(args)
+    entries = list(read_manifest(args.manifest))
+
+    def pairs():
+        for ideal_path, noisy_path in entries:
+            ideal = qasm.load(ideal_path)
+            base = qasm.load(noisy_path) if noisy_path else ideal
+            yield ideal, _noisy_from(args, base)
+
+    all_equivalent = True
+    for (ideal_path, noisy_path), result in zip(
+        entries, session.check_many(pairs())
+    ):
+        record = result.to_dict()
+        record["ideal"] = ideal_path
+        record["noisy"] = noisy_path or ideal_path
+        print(json.dumps(record), flush=True)
+        all_equivalent = all_equivalent and result.equivalent
+    return 0 if all_equivalent else 1
 
 
 def main(argv=None) -> int:
@@ -140,6 +247,8 @@ def main(argv=None) -> int:
         return cmd_check(args)
     if args.command == "fidelity":
         return cmd_fidelity(args)
+    if args.command == "batch":
+        return cmd_batch(args)
     raise AssertionError("unreachable")
 
 

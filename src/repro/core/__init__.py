@@ -8,6 +8,7 @@ from .checker import (
     approx_equivalent,
     jamiolkowski_fidelity,
 )
+from .session import CheckConfig, CheckSession
 from .jamiolkowski import (
     average_fidelity_from_jamiolkowski,
     fidelity_from_traces,
@@ -40,7 +41,9 @@ from .unitary_check import (
 
 __all__ = [
     "AUTO_ALG1_MAX_NOISES",
+    "CheckConfig",
     "CheckResult",
+    "CheckSession",
     "EquivalenceChecker",
     "FidelityResult",
     "RunStats",

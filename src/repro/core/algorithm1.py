@@ -20,13 +20,13 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..backends import ContractionBackend, resolve_backend
 from ..circuits import QuantumCircuit
-from ..tdd import TddManager, contract_network_scalar, manager_for_network
-from ..tensornet import ContractionStats, contraction_order
+from ..tensornet import ContractionStats
 from .miter import alg1_template, alg1_trace_network, lower_kraus_selection
 from .stats import FidelityResult, RunStats
 
@@ -54,7 +54,7 @@ def fidelity_individual(
     noisy: QuantumCircuit,
     ideal: QuantumCircuit,
     epsilon: Optional[float] = None,
-    backend: str = "tdd",
+    backend: Union[str, ContractionBackend] = "tdd",
     order_method: str = "tree_decomposition",
     share_computed_table: bool = True,
     use_local_optimisations: bool = False,
@@ -75,10 +75,15 @@ def fidelity_individual(
         (the result is then flagged as a lower bound unless all terms were
         computed anyway).
     backend:
-        ``"tdd"`` (default) or ``"dense"``.
+        A registered backend name (``"tdd"``, ``"dense"``, ``"einsum"``,
+        …) or a ready :class:`~repro.backends.ContractionBackend`
+        instance, e.g. the shared engine of a
+        :class:`~repro.core.session.CheckSession`.
     share_computed_table:
         Reuse one TDD manager — and hence its computed tables — across all
         trace terms.  Switch off to reproduce Table II's 'Ori.' column.
+        Only consulted when ``backend`` is a name; an instance keeps its
+        own ``share_intermediates`` setting.
     use_local_optimisations:
         Apply adjacent-gate cancellation and SWAP elimination to each
         miter (excluded from the paper's headline tables for baseline
@@ -96,14 +101,21 @@ def fidelity_individual(
     """
     if epsilon is not None and not 0.0 <= epsilon <= 1.0:
         raise ValueError("epsilon must lie in [0, 1]")
+    engine = resolve_backend(
+        backend,
+        order_method=order_method,
+        share_intermediates=share_computed_table,
+    )
     dim = 2**ideal.num_qubits
     target = None if epsilon is None else (1.0 - epsilon) * dim * dim
 
-    stats = RunStats(algorithm="alg1", terms_total=noisy.num_kraus_terms)
+    stats = RunStats(
+        algorithm="alg1",
+        backend=engine.name,
+        terms_total=noisy.num_kraus_terms,
+    )
     start = time.perf_counter()
 
-    manager: Optional[TddManager] = None
-    order: Optional[Sequence[str]] = None
     total = 0.0
     completed = True
 
@@ -112,12 +124,10 @@ def fidelity_individual(
     # per term (disabled under local optimisations, which reshape the
     # network per selection).
     template = None
-    conversion_cache: Optional[dict] = None
-    template_ids: set = set()
+    template_ids: Optional[set] = None
     if not use_local_optimisations:
         template = alg1_template(noisy, ideal)
         if template is not None:
-            conversion_cache = {}
             template_ids = {id(t) for t in template.network.tensors}
 
     for selection in enumerate_selections(noisy, dominant_first=dominant_first):
@@ -141,32 +151,13 @@ def fidelity_individual(
                 use_local_optimisations=use_local_optimisations,
             )
         cstats = ContractionStats()
-        if backend == "tdd":
-            if order is None:
-                manager, order = manager_for_network(network, order_method)
-            active = manager if share_computed_table else TddManager(list(order))
-            trace = contract_network_scalar(
-                network, order=order, manager=active, stats=cstats,
-                conversion_cache=(
-                    conversion_cache if share_computed_table else None
-                ),
-            )
-            stats.max_nodes = max(stats.max_nodes, cstats.max_nodes)
-            if conversion_cache is not None:
-                # Keep only the shared template tensors: per-term noise
-                # tensors die with the term and must not pin memory.
-                for key in list(conversion_cache):
-                    if key not in template_ids:
-                        del conversion_cache[key]
-        elif backend == "dense":
-            if order is None:
-                order = contraction_order(network, order_method)
-            trace = network.contract_scalar(order=order, stats=cstats)
-            stats.max_intermediate_size = max(
-                stats.max_intermediate_size, cstats.max_intermediate_size
-            )
-        else:
-            raise ValueError(f"unknown backend {backend!r}")
+        trace = engine.contract_scalar(
+            network, stats=cstats, cacheable_tensor_ids=template_ids
+        )
+        stats.max_nodes = max(stats.max_nodes, cstats.max_nodes)
+        stats.max_intermediate_size = max(
+            stats.max_intermediate_size, cstats.max_intermediate_size
+        )
         total += abs(trace) ** 2
         stats.terms_computed += 1
         stats.term_times.append(time.perf_counter() - term_start)

@@ -12,10 +12,11 @@ one of it — the trade-off the paper demonstrates in Fig. 7.
 from __future__ import annotations
 
 import time
+from typing import Union
 
+from ..backends import ContractionBackend, resolve_backend
 from ..circuits import QuantumCircuit
-from ..tdd import contract_network_scalar, manager_for_network
-from ..tensornet import ContractionStats, contraction_order
+from ..tensornet import ContractionStats
 from .miter import alg2_trace_network
 from .stats import FidelityResult, RunStats
 
@@ -23,7 +24,7 @@ from .stats import FidelityResult, RunStats
 def fidelity_collective(
     noisy: QuantumCircuit,
     ideal: QuantumCircuit,
-    backend: str = "tdd",
+    backend: Union[str, ContractionBackend] = "tdd",
     order_method: str = "tree_decomposition",
     use_local_optimisations: bool = False,
 ) -> FidelityResult:
@@ -31,27 +32,21 @@ def fidelity_collective(
 
     Parameters mirror :func:`repro.core.algorithm1.fidelity_individual`
     (there is no epsilon: the single contraction is always exact).
+    ``backend`` is a registered name or a ready
+    :class:`~repro.backends.ContractionBackend` instance.
     """
+    engine = resolve_backend(backend, order_method=order_method)
     dim = 2**ideal.num_qubits
-    stats = RunStats(algorithm="alg2", terms_total=1)
+    stats = RunStats(algorithm="alg2", backend=engine.name, terms_total=1)
     start = time.perf_counter()
 
     network = alg2_trace_network(
         noisy, ideal, use_local_optimisations=use_local_optimisations
     )
     cstats = ContractionStats()
-    if backend == "tdd":
-        manager, order = manager_for_network(network, order_method)
-        value = contract_network_scalar(
-            network, order=order, manager=manager, stats=cstats
-        )
-        stats.max_nodes = cstats.max_nodes
-    elif backend == "dense":
-        order = contraction_order(network, order_method)
-        value = network.contract_scalar(order=order, stats=cstats)
-        stats.max_intermediate_size = cstats.max_intermediate_size
-    else:
-        raise ValueError(f"unknown backend {backend!r}")
+    value = engine.contract_scalar(network, stats=cstats)
+    stats.max_nodes = cstats.max_nodes
+    stats.max_intermediate_size = cstats.max_intermediate_size
 
     stats.terms_computed = 1
     stats.time_seconds = time.perf_counter() - start

@@ -1,12 +1,16 @@
 """The epsilon-equivalence checker (the paper's Problem 1).
 
 Given an ideal circuit ``C`` and a noisy implementation ``N``, decide
-``C ~eps N``, i.e. ``F_J(E_N, U_C) > 1 - eps``.  The checker dispatches
-between the two algorithms:
+``C ~eps N``, i.e. ``F_J(E_N, U_C) > 1 - eps``.
 
-* few noise sites → Algorithm I with early termination (often a single
-  trace term certifies equivalence);
-* many noise sites → Algorithm II's single collective contraction.
+.. deprecated::
+    :class:`EquivalenceChecker` is a thin compatibility shim over the
+    session API (:class:`~repro.core.session.CheckConfig` +
+    :class:`~repro.core.session.CheckSession`); new code should use the
+    session API directly, which adds batch checking (``check_many``) and
+    pluggable backends.  The shim keeps working and validates its
+    arguments through the same config, so typos fail at construction
+    time.
 """
 
 from __future__ import annotations
@@ -15,16 +19,26 @@ from ..circuits import QuantumCircuit
 from .algorithm1 import fidelity_individual
 from .algorithm2 import fidelity_collective
 from .jamiolkowski import jamiolkowski_fidelity_dense
-from .stats import CheckResult, RunStats
+from .session import AUTO_ALG1_MAX_NOISES, CheckConfig, CheckSession
+from .stats import CheckResult
 
-#: Noise-site count at or below which 'auto' prefers Algorithm I.  Fig. 7
-#: shows the crossover at roughly one noise for small circuits; we keep a
-#: small margin because early termination usually needs only one term.
-AUTO_ALG1_MAX_NOISES = 2
+__all__ = [
+    "AUTO_ALG1_MAX_NOISES",
+    "EquivalenceChecker",
+    "approx_equivalent",
+    "jamiolkowski_fidelity",
+]
 
 
 class EquivalenceChecker:
-    """Approximate equivalence checking of noisy quantum circuits."""
+    """Approximate equivalence checking of noisy quantum circuits.
+
+    Deprecated kwargs-style front end; equivalent to::
+
+        CheckSession(CheckConfig(epsilon=..., algorithm=..., ...))
+
+    kept so existing code, tests and benchmarks continue to work.
+    """
 
     def __init__(
         self,
@@ -35,74 +49,59 @@ class EquivalenceChecker:
         use_local_optimisations: bool = False,
         alg1_max_noises: int = AUTO_ALG1_MAX_NOISES,
     ):
-        if not 0.0 <= epsilon <= 1.0:
-            raise ValueError("epsilon must lie in [0, 1]")
-        if algorithm not in ("auto", "alg1", "alg2", "dense"):
-            raise ValueError(f"unknown algorithm {algorithm!r}")
-        self.epsilon = epsilon
-        self.algorithm = algorithm
-        self.backend = backend
-        self.order_method = order_method
-        self.use_local_optimisations = use_local_optimisations
-        self.alg1_max_noises = alg1_max_noises
+        # CheckConfig validates every field (epsilon range, algorithm,
+        # backend registry membership, ordering heuristic).
+        self._session = CheckSession(
+            CheckConfig(
+                epsilon=epsilon,
+                algorithm=algorithm,
+                backend=backend,
+                order_method=order_method,
+                use_local_optimisations=use_local_optimisations,
+                alg1_max_noises=alg1_max_noises,
+            )
+        )
+
+    @property
+    def config(self) -> CheckConfig:
+        """The underlying frozen configuration."""
+        return self._session.config
+
+    @property
+    def session(self) -> CheckSession:
+        """The underlying session (shared backend state lives here)."""
+        return self._session
+
+    def _config_property(name):  # noqa: N805 - descriptor factory
+        def getter(self):
+            return getattr(self.config, name)
+
+        def setter(self, value):
+            # The old class stored plain writable attributes; keep
+            # mutation working by rebuilding the session (re-validated).
+            self._session = CheckSession(
+                self.config.replace(**{name: value})
+            )
+
+        return property(getter, setter)
+
+    epsilon = _config_property("epsilon")
+    algorithm = _config_property("algorithm")
+    backend = _config_property("backend")
+    order_method = _config_property("order_method")
+    use_local_optimisations = _config_property("use_local_optimisations")
+    alg1_max_noises = _config_property("alg1_max_noises")
+    del _config_property
 
     def select_algorithm(self, noisy: QuantumCircuit) -> str:
         """Resolve 'auto' to a concrete algorithm for this circuit."""
-        if self.algorithm != "auto":
-            return self.algorithm
-        if noisy.num_noise_sites <= self.alg1_max_noises:
-            return "alg1"
-        return "alg2"
+        return self._session.select_algorithm(noisy)
 
     def check(
         self, ideal: QuantumCircuit, noisy: QuantumCircuit
     ) -> CheckResult:
         """Decide ``ideal ~eps noisy``."""
-        if ideal.num_qubits != noisy.num_qubits:
-            raise ValueError("circuits must have the same number of qubits")
-        if not ideal.is_unitary_circuit:
-            raise ValueError("the ideal circuit must be noiseless (unitary)")
-        algorithm = self.select_algorithm(noisy)
-        if algorithm == "alg1":
-            result = fidelity_individual(
-                noisy,
-                ideal,
-                epsilon=self.epsilon,
-                backend=self.backend,
-                order_method=self.order_method,
-                use_local_optimisations=self.use_local_optimisations,
-            )
-        elif algorithm == "alg2":
-            result = fidelity_collective(
-                noisy,
-                ideal,
-                backend=self.backend,
-                order_method=self.order_method,
-                use_local_optimisations=self.use_local_optimisations,
-            )
-        else:
-            fidelity = jamiolkowski_fidelity_dense(noisy, ideal)
-            from .stats import FidelityResult
-
-            result = FidelityResult(
-                fidelity=fidelity, stats=RunStats(algorithm="dense")
-            )
-        equivalent = result.fidelity > 1.0 - self.epsilon
-        note = None
-        if not equivalent and result.is_lower_bound:
-            note = (
-                "fidelity is a truncated lower bound; rerun without early "
-                "termination or term caps for a definitive negative answer"
-            )
-        return CheckResult(
-            equivalent=equivalent,
-            epsilon=self.epsilon,
-            fidelity=result.fidelity,
-            is_lower_bound=result.is_lower_bound,
-            stats=result.stats,
-            algorithm=algorithm,
-            note=note,
-        )
+        return self._session.check(ideal, noisy)
 
 
 def approx_equivalent(
@@ -112,9 +111,9 @@ def approx_equivalent(
     algorithm: str = "auto",
     **kwargs,
 ) -> bool:
-    """One-shot convenience wrapper around :class:`EquivalenceChecker`."""
-    checker = EquivalenceChecker(epsilon=epsilon, algorithm=algorithm, **kwargs)
-    return checker.check(ideal, noisy).equivalent
+    """One-shot convenience wrapper around :class:`CheckSession`."""
+    session = CheckSession(epsilon=epsilon, algorithm=algorithm, **kwargs)
+    return session.check(ideal, noisy).equivalent
 
 
 def jamiolkowski_fidelity(

@@ -1,0 +1,262 @@
+"""Batch checking sessions: :class:`CheckConfig` + :class:`CheckSession`.
+
+One :class:`CheckSession` owns a configured contraction backend and reuses
+it across many equivalence checks, so batch workloads amortise backend
+setup — warm TDD computed tables, cached contraction orders and einsum
+paths — over every circuit pair, the way DAC-style decoders amortise
+per-codeword work across blocks.
+
+Quick start
+-----------
+>>> from repro import CheckConfig, CheckSession
+>>> session = CheckSession(CheckConfig(epsilon=0.01, backend="einsum"))
+>>> for result in session.check_many([(ideal_a, noisy_a),
+...                                   (ideal_b, noisy_b)]):
+...     print(result.verdict, result.fidelity)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
+from ..backends import ContractionBackend, available_backends, resolve_backend
+from ..circuits import QuantumCircuit
+from ..tensornet.ordering import ORDER_HEURISTICS
+from .algorithm1 import fidelity_individual
+from .algorithm2 import fidelity_collective
+from .jamiolkowski import jamiolkowski_fidelity_dense
+from .stats import CheckResult, FidelityResult, RunStats
+
+#: Noise-site count at or below which 'auto' prefers Algorithm I.  Fig. 7
+#: shows the crossover at roughly one noise for small circuits; we keep a
+#: small margin because early termination usually needs only one term.
+AUTO_ALG1_MAX_NOISES = 2
+
+_ALGORITHMS = ("auto", "alg1", "alg2", "dense")
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Frozen configuration of an equivalence-checking run.
+
+    Replaces the loose kwargs previously threaded through
+    ``EquivalenceChecker`` → ``algorithm1``/``algorithm2``.  All values are
+    validated at construction, so typos fail immediately rather than deep
+    inside a contraction loop.
+    """
+
+    #: error threshold of the epsilon-equivalence decision
+    epsilon: float = 0.01
+    #: 'auto', 'alg1', 'alg2' or 'dense' (the dense-linalg baseline)
+    algorithm: str = "auto"
+    #: registered backend name, or a ready ContractionBackend instance
+    backend: Union[str, ContractionBackend] = "tdd"
+    #: index elimination order heuristic
+    order_method: str = "tree_decomposition"
+    #: adjacent-gate cancellation + trailing-SWAP elimination per miter
+    use_local_optimisations: bool = False
+    #: noise-site count at or below which 'auto' picks Algorithm I
+    alg1_max_noises: int = AUTO_ALG1_MAX_NOISES
+    #: hard cap on Algorithm I trace terms (None = unlimited)
+    alg1_max_terms: Optional[int] = None
+    #: Algorithm I wall-clock budget in seconds (None = unlimited)
+    alg1_time_budget_seconds: Optional[float] = None
+    #: share the backend's computed tables/caches across trace terms
+    share_computed_table: bool = True
+    #: enumerate Kraus selections largest-norm-first (Algorithm I)
+    dominant_first: bool = True
+
+    def __post_init__(self):
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ValueError("epsilon must lie in [0, 1]")
+        if self.algorithm not in _ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"choose from {list(_ALGORITHMS)}"
+            )
+        if isinstance(self.backend, str):
+            if self.backend not in available_backends():
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; "
+                    f"available: {', '.join(available_backends())}"
+                )
+        elif not isinstance(self.backend, ContractionBackend):
+            raise TypeError(
+                "backend must be a registered name or a "
+                f"ContractionBackend instance, got {type(self.backend)!r}"
+            )
+        if self.order_method not in ORDER_HEURISTICS:
+            raise ValueError(
+                f"unknown ordering method {self.order_method!r}; "
+                f"choose from {sorted(ORDER_HEURISTICS)}"
+            )
+        if self.alg1_max_noises < 0:
+            raise ValueError("alg1_max_noises must be non-negative")
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the configured backend."""
+        if isinstance(self.backend, ContractionBackend):
+            return self.backend.name
+        return self.backend
+
+    def replace(self, **changes) -> "CheckConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe; backend reduced to its name).
+
+        Built field-by-field — ``dataclasses.asdict`` would deep-copy a
+        live backend instance (manager, caches and all) stored in
+        ``backend``.
+        """
+        out = {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
+        out["backend"] = self.backend_name
+        return out
+
+
+class CheckSession:
+    """A reusable checking session with shared backend state.
+
+    The backend instance is created lazily on first use and kept for the
+    session's lifetime, so consecutive :meth:`check` calls — and the whole
+    of :meth:`check_many` — reuse warm contraction state (one
+    :class:`~repro.tdd.TddManager`, cached elimination orders, cached
+    einsum paths).
+
+    Accepts a :class:`CheckConfig`, keyword overrides, or both::
+
+        CheckSession(CheckConfig(backend="einsum"))
+        CheckSession(epsilon=0.05, backend="dense")
+        CheckSession(config, epsilon=0.2)   # config with one override
+    """
+
+    def __init__(self, config: Optional[CheckConfig] = None, **overrides):
+        if config is None:
+            config = CheckConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.config = config
+        self._backend: Optional[ContractionBackend] = None
+
+    @property
+    def backend(self) -> ContractionBackend:
+        """The session's shared contraction backend (created on demand)."""
+        if self._backend is None:
+            self._backend = resolve_backend(
+                self.config.backend,
+                order_method=self.config.order_method,
+                share_intermediates=self.config.share_computed_table,
+            )
+        return self._backend
+
+    def reset(self) -> None:
+        """Drop all shared backend state (managers, orders, paths)."""
+        if self._backend is not None:
+            self._backend.reset()
+
+    def select_algorithm(self, noisy: QuantumCircuit) -> str:
+        """Resolve 'auto' to a concrete algorithm for this circuit."""
+        if self.config.algorithm != "auto":
+            return self.config.algorithm
+        if noisy.num_noise_sites <= self.config.alg1_max_noises:
+            return "alg1"
+        return "alg2"
+
+    # --- checking -------------------------------------------------------------
+
+    def check(
+        self, ideal: QuantumCircuit, noisy: QuantumCircuit
+    ) -> CheckResult:
+        """Decide ``ideal ~eps noisy`` under this session's config."""
+        cfg = self.config
+        if ideal.num_qubits != noisy.num_qubits:
+            raise ValueError("circuits must have the same number of qubits")
+        if not ideal.is_unitary_circuit:
+            raise ValueError("the ideal circuit must be noiseless (unitary)")
+        algorithm = self.select_algorithm(noisy)
+        result = self._fidelity_result(ideal, noisy, algorithm, cfg.epsilon)
+        equivalent = result.fidelity > 1.0 - cfg.epsilon
+        note = None
+        if not equivalent and result.is_lower_bound:
+            note = (
+                "fidelity is a truncated lower bound; rerun without early "
+                "termination or term caps for a definitive negative answer"
+            )
+        return CheckResult(
+            equivalent=equivalent,
+            epsilon=cfg.epsilon,
+            fidelity=result.fidelity,
+            is_lower_bound=result.is_lower_bound,
+            stats=result.stats,
+            algorithm=algorithm,
+            backend=result.stats.backend,
+            note=note,
+        )
+
+    def check_many(
+        self,
+        pairs: Iterable[Tuple[QuantumCircuit, QuantumCircuit]],
+    ) -> Iterator[CheckResult]:
+        """Check each ``(ideal, noisy)`` pair, streaming the results.
+
+        Lazily yields one :class:`CheckResult` per pair; the shared
+        backend state carries over from pair to pair, which is the point
+        of batching.
+        """
+        for ideal, noisy in pairs:
+            yield self.check(ideal, noisy)
+
+    def fidelity(
+        self, ideal: QuantumCircuit, noisy: QuantumCircuit
+    ) -> float:
+        """Exact ``F_J(E_noisy, U_ideal)`` with the configured algorithm.
+
+        No early termination is applied (Algorithm I sums every term up
+        to the configured caps).
+        """
+        algorithm = self.select_algorithm(noisy)
+        return self._fidelity_result(ideal, noisy, algorithm, None).fidelity
+
+    def _fidelity_result(
+        self,
+        ideal: QuantumCircuit,
+        noisy: QuantumCircuit,
+        algorithm: str,
+        epsilon: Optional[float],
+    ) -> FidelityResult:
+        cfg = self.config
+        if algorithm == "alg1":
+            return fidelity_individual(
+                noisy,
+                ideal,
+                epsilon=epsilon,
+                backend=self.backend,
+                order_method=cfg.order_method,
+                share_computed_table=cfg.share_computed_table,
+                use_local_optimisations=cfg.use_local_optimisations,
+                dominant_first=cfg.dominant_first,
+                max_terms=cfg.alg1_max_terms,
+                time_budget_seconds=cfg.alg1_time_budget_seconds,
+            )
+        if algorithm == "alg2":
+            return fidelity_collective(
+                noisy,
+                ideal,
+                backend=self.backend,
+                order_method=cfg.order_method,
+                use_local_optimisations=cfg.use_local_optimisations,
+            )
+        if algorithm == "dense":
+            fidelity = jamiolkowski_fidelity_dense(noisy, ideal)
+            return FidelityResult(
+                fidelity=fidelity,
+                stats=RunStats(algorithm="dense", backend="dense-linalg"),
+            )
+        raise ValueError(f"unknown algorithm {algorithm!r}")

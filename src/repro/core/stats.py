@@ -3,12 +3,14 @@
 The paper's Table I reports wall-clock time and the maximum number of TDD
 nodes constructed during a run; Table II additionally needs per-term
 timings with and without the shared computed table.  :class:`RunStats`
-carries all of that.
+carries all of that, and both it and :class:`CheckResult` serialise to
+plain dicts / JSON so batch runs can stream machine-readable results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import List, Optional
 
 
@@ -17,11 +19,13 @@ class RunStats:
     """Statistics of one fidelity computation."""
 
     algorithm: str = ""
+    #: registry name of the contraction backend that did the work
+    backend: str = ""
     #: wall-clock seconds for the whole computation
     time_seconds: float = 0.0
     #: peak TDD node count across all intermediate diagrams ('nodes' column)
     max_nodes: int = 0
-    #: peak dense intermediate size (dense backend only)
+    #: peak dense intermediate size (dense/einsum backends only)
     max_intermediate_size: int = 0
     #: number of Kraus selections actually contracted (Alg I)
     terms_computed: int = 0
@@ -33,6 +37,14 @@ class RunStats:
     timed_out: bool = False
     #: per-term wall-clock seconds (Alg I, for the Table II experiment)
     term_times: List[float] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe)."""
+        return asdict(self)
+
+    def to_json(self, **kwargs) -> str:
+        """JSON form; ``kwargs`` forward to :func:`json.dumps`."""
+        return json.dumps(self.to_dict(), **kwargs)
 
 
 @dataclass
@@ -48,6 +60,14 @@ class FidelityResult:
     is_lower_bound: bool = False
     stats: RunStats = field(default_factory=RunStats)
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe)."""
+        return {
+            "fidelity": self.fidelity,
+            "is_lower_bound": self.is_lower_bound,
+            "stats": self.stats.to_dict(),
+        }
+
 
 @dataclass
 class CheckResult:
@@ -59,4 +79,30 @@ class CheckResult:
     is_lower_bound: bool
     stats: RunStats = field(default_factory=RunStats)
     algorithm: str = ""
+    #: registry name of the contraction backend that did the work
+    backend: str = ""
     note: Optional[str] = None
+
+    @property
+    def verdict(self) -> str:
+        """Human/JSON-friendly verdict string."""
+        return "EQUIVALENT" if self.equivalent else "NOT_EQUIVALENT"
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe), stats nested under ``"stats"``."""
+        return {
+            "equivalent": self.equivalent,
+            "verdict": self.verdict,
+            "epsilon": self.epsilon,
+            "fidelity": self.fidelity,
+            "is_lower_bound": self.is_lower_bound,
+            "algorithm": self.algorithm,
+            "backend": self.backend,
+            "time_seconds": self.stats.time_seconds,
+            "note": self.note,
+            "stats": self.stats.to_dict(),
+        }
+
+    def to_json(self, **kwargs) -> str:
+        """JSON form; ``kwargs`` forward to :func:`json.dumps`."""
+        return json.dumps(self.to_dict(), **kwargs)

@@ -22,14 +22,20 @@ _MIN_RECURSION_LIMIT = 100_000
 
 
 def manager_for_network(
-    network: TensorNetwork, order_method: str = "tree_decomposition"
+    network: TensorNetwork,
+    order_method: str = "tree_decomposition",
+    order: Optional[Sequence[str]] = None,
 ) -> Tuple[TddManager, List[str]]:
     """Create a manager whose variable order follows the elimination order.
 
     Returns the manager and the elimination order used (so callers can pass
-    the same order to :func:`contract_network`).
+    the same order to :func:`contract_network`).  An already-computed
+    ``order`` skips the (possibly expensive) heuristic.
     """
-    order = contraction_order(network, order_method)
+    if order is None:
+        order = contraction_order(network, order_method)
+    else:
+        order = list(order)
     seen = set(order)
     full = order + [i for i in network.all_indices() if i not in seen]
     return TddManager(full), full

@@ -78,6 +78,17 @@ class TensorNetwork:
         """Shallow copy of the tensor list."""
         return TensorNetwork(list(self.tensors))
 
+    def structure_key(self) -> tuple:
+        """Hashable fingerprint of the index structure.
+
+        The per-tensor label tuples capture the full connectivity (which
+        tensor carries which index, in which axis order).  Contraction
+        backends key order/path caches on it, so Algorithm I's
+        structurally identical per-term networks plan their contraction
+        once while differently-wired networks never share a plan.
+        """
+        return tuple(tensor.indices for tensor in self.tensors)
+
     # --- contraction -----------------------------------------------------------
 
     def contract(

@@ -1,0 +1,174 @@
+"""Unit tests for CheckConfig, CheckSession and result serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.backends import DenseBackend
+from repro.core import (
+    CheckConfig,
+    CheckSession,
+    EquivalenceChecker,
+    jamiolkowski_fidelity_dense,
+)
+from repro.library import qft
+from repro.noise import depolarizing, insert_random_noise
+
+
+def make_pairs(count=3, noises=2):
+    ideal = qft(3)
+    return [
+        (ideal, insert_random_noise(ideal, noises, seed=seed))
+        for seed in range(count)
+    ]
+
+
+class TestCheckConfig:
+    def test_defaults(self):
+        config = CheckConfig()
+        assert config.epsilon == 0.01
+        assert config.algorithm == "auto"
+        assert config.backend == "tdd"
+        assert config.share_computed_table
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CheckConfig().epsilon = 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon": -0.1},
+            {"epsilon": 1.5},
+            {"algorithm": "alg3"},
+            {"backend": "tddd"},  # typo must fail at construction
+            {"backend": 42},
+            {"order_method": "tree_decompositon"},  # typo
+            {"alg1_max_noises": -1},
+        ],
+    )
+    def test_validation_at_construction(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            CheckConfig(**kwargs)
+
+    def test_backend_instance_accepted(self):
+        config = CheckConfig(backend=DenseBackend())
+        assert config.backend_name == "dense"
+
+    def test_replace_revalidates(self):
+        config = CheckConfig()
+        assert config.replace(epsilon=0.2).epsilon == 0.2
+        with pytest.raises(ValueError):
+            config.replace(backend="nope")
+
+    def test_to_dict_is_json_safe(self):
+        config = CheckConfig(backend=DenseBackend(), epsilon=0.05)
+        payload = json.dumps(config.to_dict())
+        assert json.loads(payload)["backend"] == "dense"
+
+
+class TestCheckSession:
+    def test_overrides_compose_with_config(self):
+        session = CheckSession(CheckConfig(epsilon=0.01), epsilon=0.2)
+        assert session.config.epsilon == 0.2
+
+    def test_check_matches_legacy_checker(self):
+        ideal, noisy = make_pairs(1)[0]
+        new = CheckSession(CheckConfig(epsilon=0.05)).check(ideal, noisy)
+        old = EquivalenceChecker(epsilon=0.05).check(ideal, noisy)
+        assert new.equivalent == old.equivalent
+        assert np.isclose(new.fidelity, old.fidelity, atol=1e-12)
+        assert new.algorithm == old.algorithm
+
+    def test_check_many_streams_results(self):
+        pairs = make_pairs(3)
+        session = CheckSession(CheckConfig(epsilon=0.05))
+        results = list(session.check_many(pairs))
+        assert len(results) == 3
+        for result in results:
+            assert result.equivalent
+            assert result.backend == "tdd"
+
+    def test_check_many_shares_backend_state(self):
+        pairs = make_pairs(2)
+        session = CheckSession(CheckConfig(algorithm="alg2"))
+        list(session.check_many(pairs))
+        manager = session.backend.manager
+        assert manager is not None
+        list(session.check_many(pairs))
+        assert session.backend.manager is manager
+        session.reset()
+        assert session.backend.manager is None
+
+    @pytest.mark.parametrize("backend", ["tdd", "dense", "einsum"])
+    def test_check_many_every_backend(self, backend):
+        pairs = make_pairs(2)
+        session = CheckSession(CheckConfig(backend=backend))
+        for result, (ideal, noisy) in zip(session.check_many(pairs), pairs):
+            ref = jamiolkowski_fidelity_dense(noisy, ideal)
+            assert result.backend == backend
+            if not result.is_lower_bound:
+                assert np.isclose(result.fidelity, ref, atol=1e-9)
+            else:
+                assert result.fidelity <= ref + 1e-9
+
+    def test_fidelity_is_exact(self):
+        ideal, noisy = make_pairs(1)[0]
+        session = CheckSession(CheckConfig(epsilon=0.05))
+        value = session.fidelity(ideal, noisy)
+        assert np.isclose(
+            value, jamiolkowski_fidelity_dense(noisy, ideal), atol=1e-9
+        )
+
+    def test_dense_algorithm_branch(self):
+        ideal, noisy = make_pairs(1)[0]
+        result = CheckSession(CheckConfig(algorithm="dense")).check(
+            ideal, noisy
+        )
+        assert result.algorithm == "dense"
+        assert result.backend == "dense-linalg"
+
+    def test_mismatched_widths_rejected(self):
+        session = CheckSession()
+        with pytest.raises(ValueError):
+            session.check(qft(2), qft(3))
+
+
+class TestLegacyShim:
+    def test_checker_exposes_config(self):
+        checker = EquivalenceChecker(epsilon=0.03, backend="dense")
+        assert checker.epsilon == 0.03
+        assert checker.backend == "dense"
+        assert checker.config.backend == "dense"
+
+    def test_typo_backend_fails_at_construction(self):
+        with pytest.raises(ValueError):
+            EquivalenceChecker(backend="tdd2")
+
+    def test_typo_order_method_fails_at_construction(self):
+        with pytest.raises(ValueError):
+            EquivalenceChecker(order_method="sequental")
+
+
+class TestSerialisation:
+    def test_check_result_json_roundtrip(self):
+        ideal, noisy = make_pairs(1)[0]
+        result = CheckSession(CheckConfig(epsilon=0.05)).check(ideal, noisy)
+        parsed = json.loads(result.to_json())
+        assert parsed["equivalent"] == result.equivalent
+        assert parsed["verdict"] == result.verdict
+        assert parsed["fidelity"] == result.fidelity
+        assert parsed["backend"] == result.backend
+        assert parsed["time_seconds"] == result.stats.time_seconds
+        assert parsed["stats"]["algorithm"] == result.algorithm
+
+    def test_run_stats_dict_fields(self):
+        ideal, noisy = make_pairs(1)[0]
+        result = CheckSession(CheckConfig(algorithm="alg1")).check(
+            ideal, noisy
+        )
+        stats = result.stats.to_dict()
+        assert stats["backend"] == "tdd"
+        assert stats["terms_total"] >= stats["terms_computed"] >= 1
+        json.dumps(stats)  # JSON-safe

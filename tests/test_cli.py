@@ -1,10 +1,12 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.circuits import qasm
-from repro.cli import build_parser, load_noisy, main
+from repro.cli import build_parser, load_noisy, main, read_manifest
 from repro.library import qft
 
 
@@ -78,3 +80,120 @@ class TestCommands:
         main(["fidelity", qasm_file, "--noises", "2", "--algorithm", "alg2"])
         f2 = float(capsys.readouterr().out.strip())
         assert np.isclose(f1, f2, atol=1e-8)
+
+    def test_fidelity_dense_choice(self, qasm_file, capsys):
+        """The dense baseline is a first-class fidelity algorithm."""
+        main(["fidelity", qasm_file, "--noises", "2", "--algorithm", "dense"])
+        dense = float(capsys.readouterr().out.strip())
+        main(["fidelity", qasm_file, "--noises", "2", "--algorithm", "alg2"])
+        alg2 = float(capsys.readouterr().out.strip())
+        assert np.isclose(dense, alg2, atol=1e-8)
+
+    @pytest.mark.parametrize("backend", ["tdd", "dense", "einsum"])
+    def test_fidelity_backend_flag(self, qasm_file, capsys, backend):
+        code = main([
+            "fidelity", qasm_file, "--noises", "2", "--backend", backend,
+        ])
+        assert code == 0
+        assert 0.9 < float(capsys.readouterr().out.strip()) <= 1.0
+
+
+class TestJsonOutput:
+    def test_check_json_contains_required_fields(self, qasm_file, capsys):
+        code = main([
+            "check", qasm_file, "--noises", "2", "--epsilon", "0.05",
+            "--json",
+        ])
+        record = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert record["verdict"] == "EQUIVALENT"
+        assert record["backend"] == "tdd"
+        assert 0.9 < record["fidelity"] <= 1.0
+        assert record["time_seconds"] >= 0
+        assert record["stats"]["algorithm"] == record["algorithm"]
+
+    def test_check_json_backend_selection(self, qasm_file, capsys):
+        main([
+            "check", qasm_file, "--noises", "2", "--epsilon", "0.05",
+            "--backend", "einsum", "--json",
+        ])
+        record = json.loads(capsys.readouterr().out)
+        assert record["backend"] == "einsum"
+
+    def test_check_json_roundtrips_direct_result(self, qasm_file, capsys):
+        from repro import CheckConfig, CheckSession
+        from repro.noise import insert_random_noise
+
+        main([
+            "check", qasm_file, "--noises", "2", "--epsilon", "0.05",
+            "--json",
+        ])
+        record = json.loads(capsys.readouterr().out)
+        ideal = qasm.load(qasm_file)
+        noisy = insert_random_noise(ideal, 2, seed=0)
+        direct = CheckSession(CheckConfig(epsilon=0.05)).check(ideal, noisy)
+        assert record["equivalent"] == direct.equivalent
+        assert np.isclose(record["fidelity"], direct.fidelity, atol=1e-12)
+
+
+class TestBatch:
+    @pytest.fixture
+    def manifest(self, tmp_path, qasm_file):
+        other = tmp_path / "qft2.qasm"
+        qasm.dump(qft(2), other)
+        path = tmp_path / "manifest.txt"
+        path.write_text(
+            "# ideal [noisy]\n"
+            f"{qasm_file}\n"
+            f"{other} {other}\n"
+            "\n"
+        )
+        return str(path)
+
+    def test_read_manifest(self, manifest):
+        entries = list(read_manifest(manifest))
+        assert len(entries) == 2
+        assert entries[0][1] is None
+        assert entries[1][1] is not None
+
+    def test_read_manifest_rejects_extra_fields(self, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("a.qasm b.qasm c.qasm\n")
+        with pytest.raises(ValueError):
+            list(read_manifest(str(bad)))
+
+    def test_batch_streams_jsonl(self, manifest, qasm_file, capsys):
+        code = main([
+            "batch", manifest, "--noises", "1", "--epsilon", "0.05",
+        ])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert code == 0
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert records[0]["ideal"] == qasm_file
+        for record in records:
+            assert record["verdict"] == "EQUIVALENT"
+            assert record["backend"] == "tdd"
+            assert 0.9 < record["fidelity"] <= 1.0
+
+    def test_batch_jsonl_roundtrips_direct_check(self, manifest, capsys):
+        """JSONL records carry the same verdict/fidelity as direct checks."""
+        from repro import CheckConfig, CheckSession
+        from repro.noise import insert_random_noise
+
+        main([
+            "batch", manifest, "--noises", "1", "--epsilon", "0.05",
+            "--backend", "einsum",
+        ])
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        session = CheckSession(CheckConfig(epsilon=0.05, backend="einsum"))
+        for record in records:
+            ideal = qasm.load(record["ideal"])
+            base = qasm.load(record["noisy"])
+            noisy = insert_random_noise(base, 1, seed=0)
+            direct = session.check(ideal, noisy)
+            assert record["equivalent"] == direct.equivalent
+            assert np.isclose(record["fidelity"], direct.fidelity, atol=1e-12)
