@@ -3,9 +3,14 @@
 Times all three registered engines (tdd / dense / einsum) on a handful of
 small Table I workloads, for both algorithms, and writes the raw numbers
 to ``BENCH_backends.json`` so future performance PRs have a trajectory to
-compare against.  Agreement across backends is asserted to 1e-9 while
-we're at it — a benchmark that silently computes the wrong number is
-worse than no benchmark.
+compare against.  Since the plan-IR refactor, *planning* (building the
+shared :class:`~repro.tensornet.planner.ContractionPlan` for the network
+the algorithm contracts) is timed separately from *execution* (the
+fidelity computation replaying the cached plan), and each cell records
+the plan's predicted cost next to the measured times — so both plan
+quality and plan overhead are tracked across PRs.  Agreement across
+backends is asserted to 1e-9 while we're at it — a benchmark that
+silently computes the wrong number is worse than no benchmark.
 
 Usage::
 
@@ -27,6 +32,7 @@ from _common import TABLE1_BY_NAME  # noqa: E402
 
 from repro.backends import available_backends, get_backend  # noqa: E402
 from repro.core import fidelity_collective, fidelity_individual  # noqa: E402
+from repro.core.miter import algorithm_network  # noqa: E402
 
 #: Small rows where every backend (including dense) finishes in seconds.
 DEFAULT_ROWS = ["rb2", "qft2", "grover3", "qft3", "bv4"]
@@ -36,14 +42,27 @@ ALG1_MAX_TERMS = 64
 
 
 def bench_cell(workload, backend_name, algorithm, repeats):
-    """Median wall-clock seconds + fidelity for one (row, backend, alg)."""
+    """Plan/exec timings + fidelity for one (row, backend, alg) cell."""
     ideal = workload.ideal()
     noisy = workload.noisy()
-    times = []
+    network = algorithm_network(noisy, ideal, algorithm)
+
+    plan_times = []
+    plan = None
+    for _ in range(repeats):
+        backend = get_backend(backend_name)  # cold planner, like the CLI
+        start = time.perf_counter()
+        plan = backend.plan_for(network)
+        plan_times.append(time.perf_counter() - start)
+    plan_times.sort()
+
+    exec_times = []
     fidelity = None
     peak = 0
+    stats = None
     for _ in range(repeats):
-        backend = get_backend(backend_name)  # cold start, like the CLI
+        backend = get_backend(backend_name)
+        backend.plan_for(network)  # warm plan: execution timed alone
         start = time.perf_counter()
         if algorithm == "alg1":
             result = fidelity_individual(
@@ -51,16 +70,26 @@ def bench_cell(workload, backend_name, algorithm, repeats):
             )
         else:
             result = fidelity_collective(noisy, ideal, backend=backend)
-        times.append(time.perf_counter() - start)
+        exec_times.append(time.perf_counter() - start)
         fidelity = result.fidelity
+        stats = result.stats
         peak = max(peak, result.stats.max_nodes,
                    result.stats.max_intermediate_size)
-    times.sort()
+    exec_times.sort()
+
     return {
         "backend": backend_name,
         "algorithm": algorithm,
-        "median_seconds": times[len(times) // 2],
-        "best_seconds": times[0],
+        "plan_seconds": plan_times[len(plan_times) // 2],
+        "median_exec_seconds": exec_times[len(exec_times) // 2],
+        "best_exec_seconds": exec_times[0],
+        # total wall clock, comparable with pre-split trajectories
+        "median_seconds": plan_times[len(plan_times) // 2]
+        + exec_times[len(exec_times) // 2],
+        "predicted_cost": stats.predicted_cost,
+        "predicted_peak_size": stats.predicted_peak_size,
+        "slice_count": stats.slice_count,
+        "plan_width": plan.width(),
         "fidelity": fidelity,
         "peak_size": peak,
         "repeats": repeats,
@@ -88,7 +117,9 @@ def main(argv=None) -> int:
                 values[backend_name] = cell["fidelity"]
                 print(
                     f"{name:10s} {algorithm:5s} {backend_name:8s} "
-                    f"{cell['median_seconds']:8.4f}s  "
+                    f"plan {cell['plan_seconds']:8.4f}s  "
+                    f"exec {cell['median_exec_seconds']:8.4f}s  "
+                    f"cost {cell['predicted_cost']:>10d}  "
                     f"F={cell['fidelity']:.10f}"
                 )
             spread = max(values.values()) - min(values.values())

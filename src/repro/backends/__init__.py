@@ -4,18 +4,21 @@ The protocol lives in :mod:`repro.backends.base`; three engines ship
 built in and pre-registered:
 
 * ``"tdd"`` — Tensor Decision Diagrams (the paper's engine);
-* ``"dense"`` — pairwise ``np.tensordot`` along an elimination order;
-* ``"einsum"`` — one ``numpy.einsum`` expression with a cached
-  optimised path.
+* ``"dense"`` — pairwise ``np.tensordot`` along the contraction plan;
+* ``"einsum"`` — one ``np.einsum`` call per plan step, labels remapped
+  per call.
 
-Register your own with::
+All three execute the same
+:class:`~repro.tensornet.planner.ContractionPlan`.  Register your own
+with::
 
     from repro.backends import ContractionBackend, register_backend
 
     class MyBackend(ContractionBackend):
         name = "mine"
         def contract_scalar(self, network, stats=None,
-                            cacheable_tensor_ids=None):
+                            cacheable_tensor_ids=None, plan=None):
+            plan = plan or self.plan_for(network)
             ...
 
     register_backend("mine", MyBackend)

@@ -7,19 +7,28 @@ a new engine — sparse, sliced, multi-process, GPU — plugs in by
 subclassing and calling :func:`register_backend`, with no changes to the
 algorithm layer.
 
-Backends are *stateful*: an instance may keep contraction orders,
-decision-diagram managers or einsum paths warm across calls.  That is how
-a :class:`~repro.core.session.CheckSession` amortises setup work over many
-circuit pairs, and how Algorithm I amortises it over many trace terms.
+Planning and execution are separate layers: every backend *executes* a
+shared :class:`~repro.tensornet.planner.ContractionPlan` (built once per
+network structure by :meth:`ContractionBackend.plan_for` and cached), so
+the same plan object — same pairwise steps, same predicted cost, same
+slicing — drives the TDD, dense and einsum engines alike.
+
+Backends are *stateful*: an instance may keep contraction plans,
+decision-diagram managers or conversion caches warm across calls.  That is
+how a :class:`~repro.core.session.CheckSession` amortises setup work over
+many circuit pairs, and how Algorithm I amortises it over many trace
+terms.
 """
 
 from __future__ import annotations
 
 import abc
+import warnings
 from typing import Callable, ClassVar, Dict, List, Optional, Set, Union
 
-from ..tensornet import ContractionStats, TensorNetwork, contraction_order
+from ..tensornet import ContractionStats, TensorNetwork
 from ..tensornet.ordering import ORDER_HEURISTICS
+from ..tensornet.planner import PLANNERS, ContractionPlan, build_plan
 
 
 class ContractionBackend(abc.ABC):
@@ -29,12 +38,22 @@ class ContractionBackend(abc.ABC):
     ----------
     order_method:
         Named ordering heuristic (see
-        :data:`repro.tensornet.ordering.ORDER_HEURISTICS`) used to derive
-        index elimination orders.
+        :data:`repro.tensornet.ordering.ORDER_HEURISTICS`) behind the
+        ``"order"`` planner.
     share_intermediates:
-        Allow the backend to reuse internal state — computed tables,
-        dense→TDD conversion caches, einsum paths — across calls.  The
-        paper's Table II 'Ori.' ablation runs with this off.
+        Allow the backend to reuse internal *numeric* state — computed
+        tables, dense→TDD conversion caches — across calls.  The paper's
+        Table II 'Ori.' ablation runs with this off.  Plans are pure
+        structure and stay cached either way.
+    planner:
+        Plan construction strategy: ``"order"`` (derive pairwise steps
+        from the ``order_method`` elimination order) or ``"greedy"``
+        (cost-greedy pairwise planner).  See
+        :data:`repro.tensornet.planner.PLANNERS`.
+    max_intermediate_size:
+        When set, plans are sliced so no intermediate tensor exceeds this
+        many elements (:func:`repro.tensornet.planner.slice_plan`);
+        contraction becomes a sum over index-fixed subplans.
     """
 
     #: Registry name of the backend; concrete subclasses must override.
@@ -44,15 +63,26 @@ class ContractionBackend(abc.ABC):
         self,
         order_method: str = "tree_decomposition",
         share_intermediates: bool = True,
+        planner: str = "order",
+        max_intermediate_size: Optional[int] = None,
     ):
         if order_method not in ORDER_HEURISTICS:
             raise ValueError(
                 f"unknown ordering method {order_method!r}; "
                 f"choose from {sorted(ORDER_HEURISTICS)}"
             )
+        if planner not in PLANNERS:
+            raise ValueError(
+                f"unknown planner {planner!r}; "
+                f"choose from {sorted(PLANNERS)}"
+            )
+        if max_intermediate_size is not None and max_intermediate_size < 1:
+            raise ValueError("max_intermediate_size must be at least 1")
         self.order_method = order_method
         self.share_intermediates = share_intermediates
-        self._order_cache: Dict[tuple, List[str]] = {}
+        self.planner = planner
+        self.max_intermediate_size = max_intermediate_size
+        self._plan_cache: Dict[tuple, ContractionPlan] = {}
 
     @abc.abstractmethod
     def contract_scalar(
@@ -60,6 +90,7 @@ class ContractionBackend(abc.ABC):
         network: TensorNetwork,
         stats: Optional[ContractionStats] = None,
         cacheable_tensor_ids: Optional[Set[int]] = None,
+        plan: Optional[ContractionPlan] = None,
     ) -> complex:
         """Contract a closed ``network`` to its scalar value.
 
@@ -70,32 +101,75 @@ class ContractionBackend(abc.ABC):
         stats:
             Optional collector; backends fill the fields they can
             (``max_nodes`` for decision diagrams,
-            ``max_intermediate_size`` for dense engines, …).
+            ``max_intermediate_size`` for dense engines, plus the
+            plan-derived ``predicted_cost``/``predicted_peak_size``/
+            ``slice_count`` predictions).
         cacheable_tensor_ids:
             ``id()``\\ s of tensors that are shared *by object identity*
             with future calls (Algorithm I's template tensors).  Backends
             may cache per-tensor conversions for exactly these ids and
             must drop cached conversions of any other tensor after the
             call.  ``None`` means no cross-call tensor sharing.
+        plan:
+            Execute this :class:`ContractionPlan` instead of planning —
+            the "plan once, execute anywhere" entry point.  Must have
+            been built for a network of identical structure and shapes.
+            ``None`` (the default) uses :meth:`plan_for`.
         """
 
-    def order_for(self, network: TensorNetwork) -> List[str]:
-        """Index elimination order, cached per network structure.
+    def plan_for(self, network: TensorNetwork) -> ContractionPlan:
+        """The contraction plan for ``network``, cached per structure.
 
         Algorithm I contracts thousands of structurally identical
-        networks; the (possibly expensive) tree-decomposition order is
-        computed once per structure and reused.
+        networks; the (possibly expensive) planning pass — ordering
+        heuristic, pairwise simulation, slicing — runs once per
+        structure+shape and the resulting plan is replayed.
         """
-        key = network.structure_key()
-        order = self._order_cache.get(key)
-        if order is None:
-            order = contraction_order(network, self.order_method)
-            self._order_cache[key] = order
-        return order
+        key = (
+            network.structure_key(),
+            tuple(t.data.shape for t in network.tensors),
+        )
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = build_plan(
+                network,
+                planner=self.planner,
+                order_method=self.order_method,
+                max_intermediate_size=self.max_intermediate_size,
+            )
+            self._plan_cache[key] = plan
+        return plan
+
+    def order_for(self, network: TensorNetwork) -> List[str]:
+        """Index elimination order behind the cached plan.
+
+        .. deprecated::
+            Use :meth:`plan_for`; the plan carries the order plus the
+            full pairwise schedule and cost model.
+        """
+        warnings.warn(
+            "ContractionBackend.order_for is deprecated; use plan_for "
+            "(the plan's .order attribute carries the elimination order)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return list(self.plan_for(network).order)
+
+    def _record_plan(
+        self, stats: Optional[ContractionStats], plan: ContractionPlan
+    ) -> None:
+        """Fold the plan's predictions into a stats collector."""
+        if stats is None:
+            return
+        stats.predicted_cost += plan.total_cost()
+        stats.predicted_peak_size = max(
+            stats.predicted_peak_size, plan.peak_size()
+        )
+        stats.slice_count = max(stats.slice_count, plan.num_slices())
 
     def reset(self) -> None:
-        """Drop all cached state (orders, managers, paths)."""
-        self._order_cache.clear()
+        """Drop all cached state (plans, managers, conversions)."""
+        self._plan_cache.clear()
 
     def describe(self) -> Dict[str, object]:
         """Lightweight description for logs and serialised results."""
@@ -103,14 +177,20 @@ class ContractionBackend(abc.ABC):
             "name": self.name,
             "order_method": self.order_method,
             "share_intermediates": self.share_intermediates,
+            "planner": self.planner,
+            "max_intermediate_size": self.max_intermediate_size,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{type(self).__name__}(order_method={self.order_method!r})"
+        return (
+            f"{type(self).__name__}(order_method={self.order_method!r}, "
+            f"planner={self.planner!r})"
+        )
 
 
-#: Factories must accept the protocol keywords ``order_method`` and
-#: ``share_intermediates`` (extra keywords are backend-specific).
+#: Factories must accept the protocol keywords ``order_method``,
+#: ``share_intermediates``, ``planner`` and ``max_intermediate_size``
+#: (extra keywords are backend-specific).
 BackendFactory = Callable[..., ContractionBackend]
 
 _REGISTRY: Dict[str, BackendFactory] = {}

@@ -1,22 +1,23 @@
 """The dense ndarray contraction backend.
 
-Pairwise ``np.tensordot`` contraction following the elimination order —
-the engine of :meth:`repro.tensornet.TensorNetwork.contract`, behind the
-:class:`ContractionBackend` protocol.  Memory scales with the largest
-intermediate tensor, so this backend suits small/medium networks and
-serves as the reference implementation for cross-backend tests.
+Pairwise ``np.tensordot`` contraction of :class:`Tensor` operands along a
+shared :class:`~repro.tensornet.planner.ContractionPlan`.  Memory scales
+with the largest intermediate tensor — bounded via the backend's
+``max_intermediate_size`` slicing knob — and this engine serves as the
+reference implementation for cross-backend tests.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Set
 
-from ..tensornet import ContractionStats, TensorNetwork
+from ..tensornet import ContractionStats, Tensor, TensorNetwork
+from ..tensornet.planner import ContractionPlan, execute_plan
 from .base import ContractionBackend
 
 
 class DenseBackend(ContractionBackend):
-    """Dense pairwise tensordot contraction."""
+    """Dense pairwise tensordot contraction along a plan."""
 
     name = "dense"
 
@@ -25,6 +26,21 @@ class DenseBackend(ContractionBackend):
         network: TensorNetwork,
         stats: Optional[ContractionStats] = None,
         cacheable_tensor_ids: Optional[Set[int]] = None,
+        plan: Optional[ContractionPlan] = None,
     ) -> complex:
-        order = self.order_for(network)
-        return network.contract_scalar(order=order, stats=stats)
+        if plan is None:
+            plan = self.plan_for(network)
+        self._record_plan(stats, plan)
+
+        def merge(a: Tensor, b: Tensor, step) -> Tensor:
+            merged = a.contract(b)
+            if stats is not None:
+                stats.observe(merged)
+            return merged
+
+        return execute_plan(
+            plan, network,
+            load=list,
+            merge=merge,
+            scalar=Tensor.scalar,
+        )

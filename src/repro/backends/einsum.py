@@ -1,209 +1,80 @@
 """A third engine: contraction via ``numpy.einsum``.
 
-Each pairwise contraction of the network is executed by ``np.einsum``
-along an explicit pre-planned path.  By default the path is *derived
-from the repo's own elimination-order heuristics* (tree decomposition,
-following Markov–Shi): numpy's built-in ``greedy`` planner produces
-catastrophically wide paths on the doubled alg2 networks (scaling ~34
-vs ~10 on a 3-qubit QFT miter), and ``np.einsum_path`` itself cannot
-parse expressions with more than 52 distinct indices — the per-step
-execution here remaps labels per call, so network size is unbounded.
-The numpy planners remain available via ``optimize="greedy"`` /
-``"optimal"`` for networks small enough to parse.
+Each pairwise step of the shared
+:class:`~repro.tensornet.planner.ContractionPlan` is executed by one
+``np.einsum`` call.  Labels are remapped to a dense ``0..k`` integer range
+per call, so the global index count never hits numpy's 52-symbol subscript
+alphabet and network size is unbounded.  (The backend's former private
+path planner is gone — planning now lives in
+:mod:`repro.tensornet.planner`, where the ``"order"`` planner derives the
+path from the repo's elimination-order heuristics exactly as this backend
+used to, and the ``"greedy"`` planner is shared with every other engine.)
 
-Plans are cached per network structure: Algorithm I replays the same
-path for every trace term, and a batch session replays it for every
-structurally identical circuit pair.
+Plans are cached per network structure by the base class: Algorithm I
+replays the same plan for every trace term, and a batch session replays it
+for every structurally identical circuit pair.
 """
 
 from __future__ import annotations
 
-import re
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
 from ..tensornet import ContractionStats, TensorNetwork
+from ..tensornet.planner import ContractionPlan, execute_plan
 from .base import ContractionBackend
-
-_LARGEST_INTERMEDIATE = re.compile(
-    r"Largest intermediate:\s*([0-9.eE+\-]+)\s+elements"
-)
-
-#: Plan einsum paths from the backend's elimination-order heuristic.
-ORDER_PLANNER = "order"
-
-#: ``np.einsum_path`` spells int subscripts with a 52-letter alphabet, so
-#: the numpy planners only parse networks up to this many distinct indices.
-_NUMPY_PLANNER_MAX_INDICES = 52
 
 
 class NumpyEinsumBackend(ContractionBackend):
-    """Pairwise ``np.einsum`` execution along a pre-planned path.
-
-    Parameters
-    ----------
-    optimize:
-        Path planner: ``"order"`` (default) derives the path from the
-        ``order_method`` elimination order; ``"greedy"``, ``"optimal"``
-        (or anything else ``np.einsum_path`` accepts) use numpy's
-        planner, falling back to ``"order"`` when the network has too
-        many indices for numpy to parse.
-    """
+    """Pairwise ``np.einsum`` execution of a shared contraction plan."""
 
     name = "einsum"
-
-    def __init__(
-        self,
-        order_method: str = "tree_decomposition",
-        share_intermediates: bool = True,
-        optimize: str = ORDER_PLANNER,
-    ):
-        super().__init__(order_method, share_intermediates)
-        self.optimize = optimize
-        #: structure/shape key -> (path steps, largest intermediate size)
-        self._path_cache: Dict[tuple, Tuple[List[tuple], int]] = {}
-
-    # --- planning -------------------------------------------------------------
-
-    def _plan_from_order(
-        self, network: TensorNetwork
-    ) -> Tuple[List[tuple], int]:
-        """Pairwise path following the elimination order.
-
-        Simulates the dense engine's merge sequence over label sets only
-        (no numerics) and records it in einsum-path step format: each
-        step names positions in the current operand list; those operands
-        are removed and the merged operand is appended at the end.
-        """
-        dims: Dict[str, int] = {}
-        ops: List[Set[str]] = []
-        for tensor in network.tensors:
-            for label, dim in zip(tensor.indices, tensor.data.shape):
-                dims[label] = dim
-            ops.append(set(tensor.indices))
-        steps: List[tuple] = []
-        largest = 0
-
-        def merge(i: int, j: int) -> None:
-            nonlocal largest
-            a, b = ops[i], ops[j]
-            new = (a | b) - (a & b)
-            size = 1
-            for label in new:
-                size *= dims[label]
-            largest = max(largest, size)
-            steps.append((i, j))
-            del ops[j]
-            del ops[i]
-            ops.append(new)
-
-        for label in self.order_for(network) + network.all_indices():
-            holders = [idx for idx, labs in enumerate(ops) if label in labs]
-            if len(holders) == 2:
-                merge(*holders)
-        while len(ops) > 1:  # outer-product disconnected components
-            merge(0, 1)
-        if not steps:
-            steps.append((0,))
-        return steps, largest
-
-    def _plan_with_numpy(
-        self, network: TensorNetwork
-    ) -> Tuple[List[tuple], int]:
-        """Path from ``np.einsum_path`` (small networks only)."""
-        label_ids: Dict[str, int] = {}
-        for label in network.all_indices():
-            label_ids[label] = len(label_ids)
-        args: List[object] = []
-        for tensor in network.tensors:
-            args.append(tensor.data)
-            args.append([label_ids[i] for i in tensor.indices])
-        path, info = np.einsum_path(*args, [], optimize=self.optimize)
-        match = _LARGEST_INTERMEDIATE.search(info)
-        largest = int(float(match.group(1))) if match else 0
-        return [step for step in path if not isinstance(step, str)], largest
-
-    def _plan(self, network: TensorNetwork) -> Tuple[List[tuple], int]:
-        if (
-            self.optimize == ORDER_PLANNER
-            or len(network.all_indices()) > _NUMPY_PLANNER_MAX_INDICES
-        ):
-            return self._plan_from_order(network)
-        return self._plan_with_numpy(network)
-
-    # --- execution ------------------------------------------------------------
-
-    @staticmethod
-    def _contract_step(
-        ops: List[Tuple[np.ndarray, List[str]]], positions: Sequence[int]
-    ) -> None:
-        """Merge the operands at ``positions`` with one ``np.einsum`` call.
-
-        Labels are remapped to a dense 0..k range per call, so the global
-        index count never hits numpy's 52-symbol alphabet.
-        """
-        parts = [ops[p] for p in positions]
-        for p in sorted(positions, reverse=True):
-            del ops[p]
-        surviving: Set[str] = set()
-        for _, subs in ops:
-            surviving.update(subs)
-        out: List[str] = []
-        seen: Set[str] = set()
-        for _, subs in parts:
-            for label in subs:
-                if label in surviving and label not in seen:
-                    seen.add(label)
-                    out.append(label)
-        mapping: Dict[str, int] = {}
-        args: List[object] = []
-        for data, subs in parts:
-            args.append(data)
-            args.append(
-                [mapping.setdefault(label, len(mapping)) for label in subs]
-            )
-        result = np.einsum(*args, [mapping[label] for label in out])
-        ops.append((np.asarray(result), out))
 
     def contract_scalar(
         self,
         network: TensorNetwork,
         stats: Optional[ContractionStats] = None,
         cacheable_tensor_ids: Optional[Set[int]] = None,
+        plan: Optional[ContractionPlan] = None,
     ) -> complex:
-        network.validate()
-        open_labels = network.open_indices()
-        if open_labels:
-            raise ValueError(
-                f"network still has open indices {open_labels}; "
-                "einsum backend contracts closed networks only"
-            )
-        shapes = tuple(t.data.shape for t in network.tensors)
-        key = (network.structure_key(), shapes)
-        cached = self._path_cache.get(key) if self.share_intermediates else None
-        if cached is None:
-            cached = self._plan(network)
-            if self.share_intermediates:
-                self._path_cache[key] = cached
-        steps, largest = cached
+        if plan is None:
+            plan = self.plan_for(network)
+        self._record_plan(stats, plan)
 
-        ops: List[Tuple[np.ndarray, List[str]]] = [
-            (t.data, list(t.indices)) for t in network.tensors
-        ]
-        for step in steps:
-            self._contract_step(ops, step)
-        data, subs = ops[0]
-        if subs:  # pragma: no cover - guarded by the open-indices check
-            raise ValueError(f"contraction left open indices {subs}")
+        def merge(a, b, step):
+            mapping: Dict[str, int] = {}
+            args: List[object] = []
+            for data, labels in (a, b):
+                args.append(data)
+                args.append(
+                    [mapping.setdefault(lab, len(mapping)) for lab in labels]
+                )
+            merged = np.asarray(
+                np.einsum(*args, [mapping[lab] for lab in step.output])
+            )
+            if stats is not None:
+                stats.num_pairwise_contractions += 1
+                stats.max_intermediate_rank = max(
+                    stats.max_intermediate_rank, merged.ndim
+                )
+                stats.max_intermediate_size = max(
+                    stats.max_intermediate_size, int(merged.size)
+                )
+            return merged, step.output
+
+        def scalar(operand) -> complex:
+            data, labels = operand
+            if labels:  # pragma: no cover - plans cover closed networks
+                raise ValueError(f"contraction left open indices {labels}")
+            return complex(data)
+
+        total = execute_plan(
+            plan, network,
+            load=lambda tensors: [(t.data, t.indices) for t in tensors],
+            merge=merge,
+            scalar=scalar,
+        )
         if stats is not None:
-            stats.num_pairwise_contractions += len(steps)
-            stats.max_intermediate_size = max(
-                stats.max_intermediate_size, largest
-            )
-            stats.extra.setdefault("einsum_path_steps", len(steps))
-        return complex(data)
-
-    def reset(self) -> None:
-        super().reset()
-        self._path_cache.clear()
+            stats.extra.setdefault("einsum_path_steps", len(plan.steps))
+        return total

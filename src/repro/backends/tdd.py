@@ -1,6 +1,12 @@
 """The TDD contraction backend (the paper's engine of choice).
 
-Wraps :mod:`repro.tdd` behind the :class:`ContractionBackend` protocol.
+Wraps :mod:`repro.tdd` behind the :class:`ContractionBackend` protocol and
+executes the shared :class:`~repro.tensornet.planner.ContractionPlan`
+step-by-step on decision diagrams: the plan's elimination order seeds the
+manager's variable order, each pairwise step becomes one ``Tdd.contract``
+over the step's eliminated labels, and sliced plans contract index-fixed
+subnetworks whose decision diagrams are correspondingly narrower.
+
 One :class:`~repro.tdd.TddManager` lives for the lifetime of the backend
 instance, so its computed tables stay warm across trace terms *and*
 across circuit pairs in a batch session — the Sec. IV-C optimisation
@@ -9,10 +15,11 @@ generalised from one run to one session.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import List, Optional, Set
 
-from ..tdd import TddManager, contract_network_scalar, manager_for_network
+from ..tdd import Tdd, TddManager, ensure_recursion_limit
 from ..tensornet import ContractionStats, TensorNetwork
+from ..tensornet.planner import ContractionPlan, execute_plan
 from .base import ContractionBackend
 
 
@@ -31,8 +38,12 @@ class TddBackend(ContractionBackend):
         self,
         order_method: str = "tree_decomposition",
         share_intermediates: bool = True,
+        planner: str = "order",
+        max_intermediate_size: Optional[int] = None,
     ):
-        super().__init__(order_method, share_intermediates)
+        super().__init__(
+            order_method, share_intermediates, planner, max_intermediate_size
+        )
         self._manager: Optional[TddManager] = None
         #: id(tensor) -> (tensor, Tdd); entries survive only for tensors
         #: the caller declared shareable (Algorithm I template slots).
@@ -48,26 +59,64 @@ class TddBackend(ContractionBackend):
         network: TensorNetwork,
         stats: Optional[ContractionStats] = None,
         cacheable_tensor_ids: Optional[Set[int]] = None,
+        plan: Optional[ContractionPlan] = None,
     ) -> complex:
-        order = self.order_for(network)
-        if self._manager is None:
-            self._manager, order = manager_for_network(
-                network, self.order_method, order=order
-            )
-            self._order_cache[network.structure_key()] = order
-        manager = self._manager
-        if not self.share_intermediates:
-            manager = TddManager(list(order))
+        ensure_recursion_limit()
+        if plan is None:
+            plan = self.plan_for(network)
+        self._record_plan(stats, plan)
+        if self.share_intermediates:
+            if self._manager is None:
+                self._manager = TddManager(list(plan.order))
+            self._manager.extend_order(network.all_indices())
+            manager = self._manager
+        else:
+            # The ablation ('Ori.') mode gives every contraction a cold
+            # manager ordered by *its own* plan — a shared manager's
+            # accumulated order would skew node counts on later networks.
+            manager = TddManager(list(plan.order))
+            manager.extend_order(network.all_indices())
+        # Conversion caching keys on tensor identity, which a slice
+        # assignment would silently violate — sliced runs always convert.
         cache = None
-        if self.share_intermediates and cacheable_tensor_ids is not None:
+        if (
+            self.share_intermediates
+            and cacheable_tensor_ids is not None
+            and not plan.slices
+        ):
             cache = self._conversion_cache
         elif self._conversion_cache:
             # No tensor sharing this call: release the previous run's
             # template entries instead of pinning them for the session.
             self._conversion_cache.clear()
-        value = contract_network_scalar(
-            network, order=order, manager=manager, stats=stats,
-            conversion_cache=cache,
+        def load(operands) -> List[Tdd]:
+            ops: List[Tdd] = []
+            # execute_plan loads operands in network.tensors order, so
+            # zip against the source tensors for identity-keyed
+            # conversion caching.
+            for source, operand in zip(network.tensors, operands):
+                converted = None
+                if cache is not None:
+                    entry = cache.get(id(source))
+                    if entry is not None and entry[0] is source:
+                        converted = entry[1]
+                if converted is None:
+                    converted = manager.from_array(
+                        operand.data, operand.indices
+                    )
+                    if cache is not None:
+                        cache[id(source)] = (source, converted)
+                _observe(stats, converted)
+                ops.append(converted)
+            return ops
+
+        def merge(a: Tdd, b: Tdd, step) -> Tdd:
+            merged = a.contract(b, step.eliminated)
+            _observe(stats, merged)
+            return merged
+
+        total = execute_plan(
+            plan, network, load=load, merge=merge, scalar=Tdd.scalar
         )
         if cache is not None:
             # Per-term tensors die with the term; only tensors shared by
@@ -75,9 +124,15 @@ class TddBackend(ContractionBackend):
             for key in list(cache):
                 if key not in cacheable_tensor_ids:
                     del cache[key]
-        return value
+        return total
 
     def reset(self) -> None:
         super().reset()
         self._manager = None
         self._conversion_cache.clear()
+
+
+def _observe(stats: Optional[ContractionStats], tdd: Tdd) -> None:
+    """Track the peak node count (the paper's 'nodes' column)."""
+    if stats is not None:
+        stats.max_nodes = max(stats.max_nodes, tdd.num_nodes())

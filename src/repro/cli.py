@@ -14,6 +14,11 @@ Commands
     Check many QASM pairs listed in a manifest file through one shared
     :class:`~repro.core.session.CheckSession`, streaming one JSON result
     per line (JSONL).
+``plan``
+    Build the contraction plan for the chosen algorithm's network and
+    print a step/width/cost report — without contracting anything.  Use
+    it to preview planner quality and slicing before committing to a
+    heavy run.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from .noise import (
     phase_flip,
 )
 from .tensornet.ordering import ORDER_HEURISTICS
+from .tensornet.planner import PLANNERS, build_plan
 
 CHANNELS = {
     "depolarizing": depolarizing,
@@ -96,6 +102,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_args(batch)
 
+    plan = sub.add_parser(
+        "plan",
+        help="print the contraction plan (steps, width, predicted flops) "
+        "without contracting",
+    )
+    _add_circuit_args(plan)
+    plan.add_argument(
+        "--algorithm", default="alg2", choices=["alg1", "alg2"],
+        help="plan alg2's doubled network, or alg1's first trace-term "
+        "network",
+    )
+    # Plans are backend-independent (every backend executes the same
+    # plan object), so `plan` takes no --backend.
+    _add_engine_args(plan, include_backend=False)
+    plan.add_argument(
+        "--max-steps", type=int, default=None,
+        help="truncate the per-step listing (all steps by default)",
+    )
+    plan.add_argument(
+        "--json", action="store_true",
+        help="emit the plan as one JSON object instead of the report",
+    )
+
     return parser
 
 
@@ -128,15 +157,26 @@ def _add_noise_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--seed", type=int, default=0, help="noise placement seed")
 
 
-def _add_engine_args(sub: argparse.ArgumentParser) -> None:
-    sub.add_argument(
-        "--backend", default="tdd", choices=available_backends(),
-        help="contraction backend",
-    )
+def _add_engine_args(
+    sub: argparse.ArgumentParser, include_backend: bool = True
+) -> None:
+    if include_backend:
+        sub.add_argument(
+            "--backend", default="tdd", choices=available_backends(),
+            help="contraction backend",
+        )
     sub.add_argument(
         "--order-method", default="tree_decomposition",
         choices=sorted(ORDER_HEURISTICS),
         help="index elimination order heuristic",
+    )
+    sub.add_argument(
+        "--planner", default="order", choices=sorted(PLANNERS),
+        help="contraction-plan strategy",
+    )
+    sub.add_argument(
+        "--max-intermediate", type=int, default=None, metavar="SIZE",
+        help="slice plans so no intermediate tensor exceeds SIZE elements",
     )
 
 
@@ -166,6 +206,8 @@ def _session_from(args) -> CheckSession:
             algorithm=args.algorithm,
             backend=args.backend,
             order_method=args.order_method,
+            planner=args.planner,
+            max_intermediate_size=args.max_intermediate,
         )
     )
 
@@ -198,8 +240,36 @@ def cmd_fidelity(args) -> int:
             algorithm=args.algorithm,
             backend=args.backend,
             order_method=args.order_method,
+            planner=args.planner,
+            max_intermediate_size=args.max_intermediate,
         )
     print(f"{value:.10f}")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from .core.miter import algorithm_network
+
+    ideal, noisy = load_noisy(args)
+    network = algorithm_network(noisy, ideal, args.algorithm)
+    plan = build_plan(
+        network,
+        planner=args.planner,
+        order_method=args.order_method,
+        max_intermediate_size=args.max_intermediate,
+    )
+    # The greedy planner never consults the order heuristic.
+    order_method = args.order_method if args.planner == "order" else None
+    if args.json:
+        record = plan.to_dict()
+        record["algorithm"] = args.algorithm
+        record["order_method"] = order_method
+        print(json.dumps(record))
+        return 0
+    print(f"algorithm        : {args.algorithm}")
+    if order_method is not None:
+        print(f"order method     : {order_method}")
+    print(plan.report(max_steps=args.max_steps))
     return 0
 
 
@@ -249,6 +319,8 @@ def main(argv=None) -> int:
         return cmd_fidelity(args)
     if args.command == "batch":
         return cmd_batch(args)
+    if args.command == "plan":
+        return cmd_plan(args)
     raise AssertionError("unreachable")
 
 

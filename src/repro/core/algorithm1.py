@@ -61,6 +61,8 @@ def fidelity_individual(
     dominant_first: bool = True,
     max_terms: Optional[int] = None,
     time_budget_seconds: Optional[float] = None,
+    planner: str = "order",
+    max_intermediate_size: Optional[int] = None,
 ) -> FidelityResult:
     """Jamiolkowski fidelity by individual trace terms (Algorithm I).
 
@@ -98,6 +100,13 @@ def fidelity_individual(
         Wall-clock budget; enumeration stops once exceeded and the result
         is flagged ``timed_out`` (used by the Table I harness's 'TO'
         rows).
+    planner:
+        Contraction-plan strategy (``"order"`` or ``"greedy"``; see
+        :data:`repro.tensornet.planner.PLANNERS`).  Only consulted when
+        ``backend`` is a name.
+    max_intermediate_size:
+        Slice contraction plans so no intermediate exceeds this many
+        elements.  Only consulted when ``backend`` is a name.
     """
     if epsilon is not None and not 0.0 <= epsilon <= 1.0:
         raise ValueError("epsilon must lie in [0, 1]")
@@ -105,6 +114,8 @@ def fidelity_individual(
         backend,
         order_method=order_method,
         share_intermediates=share_computed_table,
+        planner=planner,
+        max_intermediate_size=max_intermediate_size,
     )
     dim = 2**ideal.num_qubits
     target = None if epsilon is None else (1.0 - epsilon) * dim * dim
@@ -158,6 +169,11 @@ def fidelity_individual(
         stats.max_intermediate_size = max(
             stats.max_intermediate_size, cstats.max_intermediate_size
         )
+        stats.predicted_cost += cstats.predicted_cost
+        stats.predicted_peak_size = max(
+            stats.predicted_peak_size, cstats.predicted_peak_size
+        )
+        stats.slice_count = max(stats.slice_count, cstats.slice_count)
         total += abs(trace) ** 2
         stats.terms_computed += 1
         stats.term_times.append(time.perf_counter() - term_start)

@@ -12,7 +12,7 @@ one of it — the trade-off the paper demonstrates in Fig. 7.
 from __future__ import annotations
 
 import time
-from typing import Union
+from typing import Optional, Union
 
 from ..backends import ContractionBackend, resolve_backend
 from ..circuits import QuantumCircuit
@@ -27,15 +27,24 @@ def fidelity_collective(
     backend: Union[str, ContractionBackend] = "tdd",
     order_method: str = "tree_decomposition",
     use_local_optimisations: bool = False,
+    planner: str = "order",
+    max_intermediate_size: Optional[int] = None,
 ) -> FidelityResult:
     """Jamiolkowski fidelity via one doubled-network contraction.
 
     Parameters mirror :func:`repro.core.algorithm1.fidelity_individual`
     (there is no epsilon: the single contraction is always exact).
     ``backend`` is a registered name or a ready
-    :class:`~repro.backends.ContractionBackend` instance.
+    :class:`~repro.backends.ContractionBackend` instance;
+    ``planner``/``max_intermediate_size`` configure plan construction and
+    slicing when ``backend`` is a name.
     """
-    engine = resolve_backend(backend, order_method=order_method)
+    engine = resolve_backend(
+        backend,
+        order_method=order_method,
+        planner=planner,
+        max_intermediate_size=max_intermediate_size,
+    )
     dim = 2**ideal.num_qubits
     stats = RunStats(algorithm="alg2", backend=engine.name, terms_total=1)
     start = time.perf_counter()
@@ -47,6 +56,9 @@ def fidelity_collective(
     value = engine.contract_scalar(network, stats=cstats)
     stats.max_nodes = cstats.max_nodes
     stats.max_intermediate_size = cstats.max_intermediate_size
+    stats.predicted_cost = cstats.predicted_cost
+    stats.predicted_peak_size = cstats.predicted_peak_size
+    stats.slice_count = cstats.slice_count
 
     stats.terms_computed = 1
     stats.time_seconds = time.perf_counter() - start

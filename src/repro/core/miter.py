@@ -196,3 +196,22 @@ def alg2_trace_network(
         doubled_miter, permutation = eliminate_final_swaps(doubled_miter)
         doubled_miter = cancel_adjacent_gates(doubled_miter)
     return close_trace(circuit_to_network(doubled_miter), permutation=permutation)
+
+
+def algorithm_network(
+    noisy: QuantumCircuit, ideal: QuantumCircuit, algorithm: str
+) -> TensorNetwork:
+    """The network the chosen algorithm contracts.
+
+    ``"alg2"`` gives the doubled network of the single collective
+    contraction; ``"alg1"`` gives one representative trace-term network
+    (the all-zeros Kraus selection — every term shares its structure, so
+    one term stands for planning/reporting purposes).  Shared by the CLI
+    ``plan`` command and the backends micro-benchmark.
+    """
+    if algorithm == "alg1":
+        selection = tuple(0 for _ in noisy.noise_instructions())
+        return alg1_trace_network(lower_kraus_selection(noisy, selection), ideal)
+    if algorithm == "alg2":
+        return alg2_trace_network(noisy, ideal)
+    raise ValueError(f"unknown algorithm {algorithm!r}; choose alg1 or alg2")

@@ -24,6 +24,7 @@ from typing import Iterable, Iterator, Optional, Tuple, Union
 from ..backends import ContractionBackend, available_backends, resolve_backend
 from ..circuits import QuantumCircuit
 from ..tensornet.ordering import ORDER_HEURISTICS
+from ..tensornet.planner import PLANNERS
 from .algorithm1 import fidelity_individual
 from .algorithm2 import fidelity_collective
 from .jamiolkowski import jamiolkowski_fidelity_dense
@@ -55,6 +56,10 @@ class CheckConfig:
     backend: Union[str, ContractionBackend] = "tdd"
     #: index elimination order heuristic
     order_method: str = "tree_decomposition"
+    #: contraction-plan strategy ('order' or 'greedy')
+    planner: str = "order"
+    #: slice plans so no intermediate exceeds this many elements
+    max_intermediate_size: Optional[int] = None
     #: adjacent-gate cancellation + trailing-SWAP elimination per miter
     use_local_optimisations: bool = False
     #: noise-site count at or below which 'auto' picks Algorithm I
@@ -92,6 +97,33 @@ class CheckConfig:
                 f"unknown ordering method {self.order_method!r}; "
                 f"choose from {sorted(ORDER_HEURISTICS)}"
             )
+        if self.planner not in PLANNERS:
+            raise ValueError(
+                f"unknown planner {self.planner!r}; "
+                f"choose from {sorted(PLANNERS)}"
+            )
+        if (
+            self.max_intermediate_size is not None
+            and self.max_intermediate_size < 1
+        ):
+            raise ValueError("max_intermediate_size must be at least 1")
+        if isinstance(self.backend, ContractionBackend):
+            # A ready instance keeps its own configuration; non-default
+            # plan knobs on the config would be silently ignored, so
+            # reject the combination unless they already agree.
+            defaults = {
+                field.name: field.default
+                for field in dataclasses.fields(self)
+            }
+            for knob in ("order_method", "planner", "max_intermediate_size"):
+                wanted = getattr(self, knob)
+                actual = getattr(self.backend, knob)
+                if wanted != defaults[knob] and wanted != actual:
+                    raise ValueError(
+                        f"{knob} is ignored when backend is an instance; "
+                        f"construct the backend with {knob}={wanted!r} "
+                        "instead"
+                    )
         if self.alg1_max_noises < 0:
             raise ValueError("alg1_max_noises must be non-negative")
 
@@ -153,6 +185,8 @@ class CheckSession:
                 self.config.backend,
                 order_method=self.config.order_method,
                 share_intermediates=self.config.share_computed_table,
+                planner=self.config.planner,
+                max_intermediate_size=self.config.max_intermediate_size,
             )
         return self._backend
 

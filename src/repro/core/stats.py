@@ -27,6 +27,13 @@ class RunStats:
     max_nodes: int = 0
     #: peak dense intermediate size (dense/einsum backends only)
     max_intermediate_size: int = 0
+    #: plan-predicted scalar multiply-adds summed over every contraction
+    predicted_cost: int = 0
+    #: plan-predicted peak intermediate size (compare with
+    #: max_intermediate_size for plan-quality tracking)
+    predicted_peak_size: int = 0
+    #: index-fixed subplan executions per contraction (1 = unsliced)
+    slice_count: int = 0
     #: number of Kraus selections actually contracted (Alg I)
     terms_computed: int = 0
     #: total number of Kraus selections (prod of per-site counts)

@@ -3,6 +3,7 @@
 from .engine import (
     contract_network,
     contract_network_scalar,
+    ensure_recursion_limit,
     manager_for_network,
 )
 from .export import node_count_by_level, to_dot
@@ -17,6 +18,7 @@ __all__ = [
     "contract_network",
     "contract_network_scalar",
     "count_nodes",
+    "ensure_recursion_limit",
     "manager_for_network",
     "node_count_by_level",
     "round_weight",

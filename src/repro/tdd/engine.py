@@ -21,6 +21,17 @@ from .manager import Tdd, TddManager
 _MIN_RECURSION_LIMIT = 100_000
 
 
+def ensure_recursion_limit() -> None:
+    """Raise the interpreter's recursion limit to the contraction floor.
+
+    Shared by every TDD entry point (this engine and
+    :class:`repro.backends.TddBackend`) so the threshold cannot drift
+    between them.  Only ever raises the limit, never lowers it.
+    """
+    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+
+
 def manager_for_network(
     network: TensorNetwork,
     order_method: str = "tree_decomposition",
@@ -70,8 +81,7 @@ def contract_network(
         many contractions (Algorithm I's template networks) pass one dict
         for the whole run.
     """
-    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
-        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+    ensure_recursion_limit()
     network.validate()
     stats = stats if stats is not None else ContractionStats()
     if order is None:

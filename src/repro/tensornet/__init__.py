@@ -8,6 +8,15 @@ from .circuit_tn import (
     connect,
 )
 from .network import ContractionStats, TensorNetwork
+from .planner import (
+    PLANNERS,
+    ContractionPlan,
+    ContractionStep,
+    build_plan,
+    greedy_plan,
+    plan_from_order,
+    slice_plan,
+)
 from .ordering import (
     ORDER_HEURISTICS,
     contraction_order,
@@ -20,15 +29,22 @@ from .tensor import Tensor, gate_tensor, identity_tensor, scalar_tensor
 
 __all__ = [
     "ORDER_HEURISTICS",
+    "PLANNERS",
     "CircuitNetwork",
+    "ContractionPlan",
     "ContractionStats",
+    "ContractionStep",
     "Tensor",
     "TensorNetwork",
+    "build_plan",
     "circuit_to_network",
     "circuit_trace",
     "close_trace",
     "connect",
     "contraction_order",
+    "greedy_plan",
+    "plan_from_order",
+    "slice_plan",
     "gate_tensor",
     "identity_tensor",
     "interaction_graph",

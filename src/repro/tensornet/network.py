@@ -24,6 +24,12 @@ class ContractionStats:
     max_intermediate_size: int = 0
     #: backend-specific peak (TDD backend stores max node count here)
     max_nodes: int = 0
+    #: plan-predicted scalar multiply-adds (all slices; see ContractionPlan)
+    predicted_cost: int = 0
+    #: plan-predicted peak intermediate size per slice
+    predicted_peak_size: int = 0
+    #: number of index-fixed subplan executions (1 = unsliced)
+    slice_count: int = 0
     extra: dict = field(default_factory=dict)
 
     def observe(self, tensor: Tensor) -> None:

@@ -151,14 +151,14 @@ class TestBackendState:
         backend.reset()
         assert backend.manager is None
 
-    def test_einsum_backend_caches_paths(self):
+    def test_einsum_backend_caches_plans(self):
         ideal = qft(2)
         noisy = insert_random_noise(ideal, 2, seed=0)
         backend = NumpyEinsumBackend()
         result = fidelity_individual(noisy, ideal, backend=backend)
         # One structure shared by all trace terms -> one cached plan.
         assert result.stats.terms_computed > 1
-        assert len(backend._path_cache) == 1
+        assert len(backend._plan_cache) == 1
 
     def test_einsum_rejects_open_networks(self):
         from repro.tensornet import Tensor, TensorNetwork

@@ -46,6 +46,8 @@ class TestCheckConfig:
             {"backend": 42},
             {"order_method": "tree_decompositon"},  # typo
             {"alg1_max_noises": -1},
+            {"planner": "gredy"},  # typo
+            {"max_intermediate_size": 0},
         ],
     )
     def test_validation_at_construction(self, kwargs):
@@ -55,6 +57,41 @@ class TestCheckConfig:
     def test_backend_instance_accepted(self):
         config = CheckConfig(backend=DenseBackend())
         assert config.backend_name == "dense"
+
+    def test_plan_knobs_conflicting_with_instance_backend_rejected(self):
+        """Instance backends keep their own config; silent knob loss is
+        an error, matching instances that already agree are fine."""
+        with pytest.raises(ValueError, match="planner"):
+            CheckConfig(backend=DenseBackend(), planner="greedy")
+        with pytest.raises(ValueError, match="max_intermediate_size"):
+            CheckConfig(backend=DenseBackend(), max_intermediate_size=4)
+        with pytest.raises(ValueError, match="order_method"):
+            CheckConfig(backend=DenseBackend(), order_method="min_fill")
+        config = CheckConfig(
+            backend=DenseBackend(planner="greedy", max_intermediate_size=4),
+            planner="greedy",
+            max_intermediate_size=4,
+        )
+        assert config.backend.max_intermediate_size == 4
+
+    def test_planner_knobs_reach_the_backend(self):
+        session = CheckSession(
+            CheckConfig(
+                backend="dense", planner="greedy", max_intermediate_size=64
+            )
+        )
+        assert session.backend.planner == "greedy"
+        assert session.backend.max_intermediate_size == 64
+
+    def test_sliced_session_checks_agree_with_unsliced(self):
+        ideal, noisy = make_pairs(1)[0]
+        plain = CheckSession(CheckConfig(backend="dense")).check(ideal, noisy)
+        sliced = CheckSession(
+            CheckConfig(backend="dense", max_intermediate_size=16)
+        ).check(ideal, noisy)
+        assert sliced.stats.max_intermediate_size <= 16
+        assert sliced.stats.slice_count > 1
+        assert abs(sliced.fidelity - plain.fidelity) < 1e-9
 
     def test_replace_revalidates(self):
         config = CheckConfig()

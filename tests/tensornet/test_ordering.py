@@ -94,7 +94,76 @@ class TestTreeDecomposition:
         )
 
 
+def _min_fill_order_reference(network):
+    """The original full-recount min-fill implementation.
+
+    Kept verbatim (modulo renames) as the oracle for the incremental
+    version: same ``(fill, degree, label)`` selection key, recomputing
+    every vertex's fill from scratch each round.
+    """
+    graph = interaction_graph(network)
+    adjacency = {v: set(graph[v]) for v in graph.nodes}
+    order = []
+    while adjacency:
+        best, best_key = None, None
+        for vertex, nbrs in adjacency.items():
+            fill = 0
+            nbr_list = list(nbrs)
+            for i, a in enumerate(nbr_list):
+                fill += sum(
+                    1 for b in nbr_list[i + 1:] if b not in adjacency[a]
+                )
+            key = (fill, len(nbrs), vertex)
+            if best_key is None or key < best_key:
+                best, best_key = vertex, key
+        order.append(best)
+        nbrs = adjacency.pop(best)
+        for a in nbrs:
+            adjacency[a].discard(best)
+        nbr_list = list(nbrs)
+        for i, a in enumerate(nbr_list):
+            for b in nbr_list[i + 1:]:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+    return order
+
+
 class TestMinFill:
     def test_deterministic(self):
         net = sample_network()
         assert min_fill_order(net) == min_fill_order(net)
+
+    @pytest.mark.parametrize("circuit_factory", [
+        lambda: qft(3),
+        lambda: qft(5),
+        lambda: QuantumCircuit(4).h(0).cx(0, 1).cx(1, 2).cx(2, 3).t(3),
+        lambda: sample_circuit(),
+    ])
+    def test_incremental_byte_identical_to_reference(self, circuit_factory):
+        """The incremental fill bookkeeping must not change the output."""
+        net = close_trace(circuit_to_network(circuit_factory()))
+        assert min_fill_order(net) == _min_fill_order_reference(net)
+
+    def test_incremental_byte_identical_on_noisy_doubled_networks(self):
+        from repro.core.miter import alg2_trace_network
+        from repro.noise import insert_random_noise
+
+        for seed in range(3):
+            ideal = qft(3)
+            noisy = insert_random_noise(ideal, 2, seed=seed)
+            net = alg2_trace_network(noisy, ideal)
+            assert min_fill_order(net) == _min_fill_order_reference(net)
+
+
+def sample_circuit():
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    circuit = QuantumCircuit(5)
+    for _ in range(20):
+        a, b = rng.choice(5, size=2, replace=False)
+        if rng.random() < 0.5:
+            circuit.cx(int(a), int(b))
+        else:
+            circuit.h(int(a)).t(int(b))
+    return circuit

@@ -197,3 +197,68 @@ class TestBatch:
             direct = session.check(ideal, noisy)
             assert record["equivalent"] == direct.equivalent
             assert np.isclose(record["fidelity"], direct.fidelity, atol=1e-12)
+
+
+class TestPlanCommand:
+    def test_plan_prints_report_without_contracting(self, qasm_file, capsys,
+                                                    monkeypatch):
+        """`repro plan` must never execute a contraction."""
+        from repro.backends import DenseBackend, NumpyEinsumBackend, TddBackend
+        from repro.tensornet import TensorNetwork
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("plan command contracted a network")
+
+        # Patch the concrete classes (they override the ABC method) and
+        # the raw dense engine, so any contraction path trips the guard.
+        for cls in (DenseBackend, NumpyEinsumBackend, TddBackend):
+            monkeypatch.setattr(cls, "contract_scalar", boom)
+        monkeypatch.setattr(TensorNetwork, "contract", boom)
+        code = main(["plan", qasm_file, "--noises", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "steps" in out
+        assert "predicted flops" in out
+        assert "peak intermediate" in out
+        assert "width" in out
+
+    def test_plan_json_fields(self, qasm_file, capsys):
+        code = main([
+            "plan", qasm_file, "--noises", "1", "--algorithm", "alg1",
+            "--planner", "greedy", "--json",
+        ])
+        record = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert record["planner"] == "greedy"
+        assert record["algorithm"] == "alg1"
+        assert record["num_steps"] == len(record["steps"])
+        assert record["num_slices"] == 1
+        assert record["total_cost"] > 0
+
+    def test_plan_slicing_caps_peak(self, qasm_file, capsys):
+        main(["plan", qasm_file, "--noises", "1", "--json"])
+        unsliced = json.loads(capsys.readouterr().out)
+        bound = unsliced["peak_intermediate_size"] // 4
+        main([
+            "plan", qasm_file, "--noises", "1", "--json",
+            "--max-intermediate", str(bound),
+        ])
+        sliced = json.loads(capsys.readouterr().out)
+        assert sliced["peak_intermediate_size"] <= bound
+        assert sliced["num_slices"] > 1
+
+    def test_plan_max_steps_truncates(self, qasm_file, capsys):
+        main(["plan", qasm_file, "--noises", "1", "--max-steps", "2"])
+        out = capsys.readouterr().out
+        assert "more steps" in out
+
+    def test_check_accepts_planner_flags(self, qasm_file, capsys):
+        code = main([
+            "check", qasm_file, "--noises", "2", "--epsilon", "0.05",
+            "--planner", "greedy", "--max-intermediate", "64",
+            "--backend", "dense", "--json",
+        ])
+        record = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert record["stats"]["max_intermediate_size"] <= 64
+        assert record["stats"]["predicted_cost"] > 0
