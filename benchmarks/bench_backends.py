@@ -12,17 +12,25 @@ quality and plan overhead are tracked across PRs.  Agreement across
 backends is asserted to 1e-9 while we're at it — a benchmark that
 silently computes the wrong number is worse than no benchmark.
 
+Since the parallel-subsystem PR the report also carries a ``parallel``
+section: wall-clock rows for a sliced contraction and a batch-checking
+workload at jobs ∈ {1, 2, 4}, with the serial-relative speedup and the
+machine's CPU count recorded (speedup is bounded by the latter — a
+single-core CI runner will honestly report ~1×).
+
 Usage::
 
     python benchmarks/bench_backends.py                  # default rows
     python benchmarks/bench_backends.py --rows qft3 bv4  # subset
     python benchmarks/bench_backends.py --repeats 5
+    python benchmarks/bench_backends.py --jobs 1 2 4 8
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -31,14 +39,26 @@ sys.path.insert(0, __file__.rsplit("/", 1)[0])
 from _common import TABLE1_BY_NAME  # noqa: E402
 
 from repro.backends import available_backends, get_backend  # noqa: E402
-from repro.core import fidelity_collective, fidelity_individual  # noqa: E402
+from repro.core import (  # noqa: E402
+    CheckConfig,
+    CheckSession,
+    fidelity_collective,
+    fidelity_individual,
+)
 from repro.core.miter import algorithm_network  # noqa: E402
+from repro.library import qft  # noqa: E402
+from repro.noise import insert_random_noise  # noqa: E402
+from repro.parallel import ProcessSliceExecutor  # noqa: E402
+from repro.tensornet import build_plan, slice_plan  # noqa: E402
 
 #: Small rows where every backend (including dense) finishes in seconds.
 DEFAULT_ROWS = ["rb2", "qft2", "grover3", "qft3", "bv4"]
 
 #: Alg I on every row is capped so exponential rows can't run away.
 ALG1_MAX_TERMS = 64
+
+#: Worker counts for the serial-vs-parallel speedup rows.
+DEFAULT_JOBS = [1, 2, 4]
 
 
 def bench_cell(workload, backend_name, algorithm, repeats):
@@ -96,10 +116,120 @@ def bench_cell(workload, backend_name, algorithm, repeats):
     }
 
 
+def bench_sliced_parallel(jobs_list, repeats):
+    """Wall-clock rows: one sliced contraction at each worker count.
+
+    The speedup baseline is always a measured ``jobs=1`` run, whatever
+    order (or subset) ``--jobs`` requests.
+    """
+    ideal = qft(3)
+    noisy = insert_random_noise(ideal, 2, seed=0)
+    network = algorithm_network(noisy, ideal, "alg2")
+    plan = build_plan(network)
+    # peak//8 slices this network into ~8k subplans of ~0.2ms each —
+    # exactly the many-small-slices regime chunked dispatch exists for.
+    sliced = slice_plan(plan, max(1, plan.peak_size() // 8))
+
+    def measure(jobs):
+        executor = ProcessSliceExecutor(jobs=jobs) if jobs > 1 else None
+        backend = get_backend("einsum", executor=executor)
+        try:
+            if executor is not None:  # pool spin-up priced separately
+                executor._ensure_pool()
+            times = []
+            value = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                value = backend.contract_scalar(network, plan=sliced)
+                times.append(time.perf_counter() - start)
+        finally:
+            if executor is not None:
+                executor.close()
+        return min(times), value
+
+    serial_best, reference = measure(1)
+    rows = []
+    for jobs in jobs_list:
+        if jobs == 1:
+            best, value = serial_best, reference
+        else:
+            best, value = measure(jobs)
+            if abs(value - reference) > 1e-9:
+                raise AssertionError(
+                    f"jobs={jobs} disagrees with serial by "
+                    f"{abs(value - reference):.2e}"
+                )
+        rows.append({
+            "workload": "sliced-qft3-alg2",
+            "backend": "einsum",
+            "num_slices": sliced.num_slices(),
+            "jobs": jobs,
+            "wall_seconds": best,
+            "speedup_vs_serial": serial_best / best if best else 0.0,
+        })
+        print(
+            f"parallel sliced   jobs {jobs}  wall {best:8.4f}s  "
+            f"speedup {rows[-1]['speedup_vs_serial']:.2f}x"
+        )
+    return rows
+
+
+def bench_batch_parallel(jobs_list, repeats, num_pairs=6):
+    """Wall-clock rows: a check_many batch at each worker count.
+
+    As with the sliced rows, the baseline is a measured ``jobs=1`` run.
+    """
+    # ~100ms of TDD work per item: heavy enough that worker processes
+    # amortise their spawn cost, small enough for CI.
+    ideal = qft(6)
+    pairs = [
+        (ideal, insert_random_noise(ideal, 2, seed=seed))
+        for seed in range(num_pairs)
+    ]
+    config = CheckConfig(epsilon=0.05, algorithm="alg2", backend="tdd")
+
+    def measure(jobs):
+        times = []
+        fidelities = None
+        for _ in range(repeats):
+            session = CheckSession(config)
+            start = time.perf_counter()
+            results = list(session.check_many(pairs, jobs=jobs))
+            times.append(time.perf_counter() - start)
+            fidelities = [result.fidelity for result in results]
+        return min(times), fidelities
+
+    serial_best, reference = measure(1)
+    rows = []
+    for jobs in jobs_list:
+        if jobs == 1:
+            best, fidelities = serial_best, reference
+        else:
+            best, fidelities = measure(jobs)
+            if any(
+                abs(a - b) > 1e-9 for a, b in zip(fidelities, reference)
+            ):
+                raise AssertionError(f"jobs={jobs} batch results diverged")
+        rows.append({
+            "workload": f"batch-qft6-x{num_pairs}",
+            "backend": "tdd",
+            "num_pairs": num_pairs,
+            "jobs": jobs,
+            "wall_seconds": best,
+            "speedup_vs_serial": serial_best / best if best else 0.0,
+        })
+        print(
+            f"parallel batch    jobs {jobs}  wall {best:8.4f}s  "
+            f"speedup {rows[-1]['speedup_vs_serial']:.2f}x"
+        )
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rows", nargs="*", default=DEFAULT_ROWS)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--jobs", nargs="*", type=int, default=DEFAULT_JOBS)
     parser.add_argument("--output", default="BENCH_backends.json")
     args = parser.parse_args(argv)
 
@@ -132,6 +262,13 @@ def main(argv=None) -> int:
             "num_noises": workload.num_noises,
             "cells": cells,
         }
+
+    report["parallel"] = {
+        "cpu_count": os.cpu_count(),
+        "jobs": args.jobs,
+        "sliced": bench_sliced_parallel(args.jobs, args.repeats),
+        "batch": bench_batch_parallel(args.jobs, args.repeats),
+    }
 
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)

@@ -50,6 +50,7 @@ from .baseline import (
 from .circuits import QuantumCircuit
 from .core import (
     CheckConfig,
+    CheckError,
     CheckResult,
     CheckSession,
     EquivalenceChecker,
@@ -89,6 +90,7 @@ __version__ = "0.1.0"
 
 __all__ = [
     "CheckConfig",
+    "CheckError",
     "CheckResult",
     "CheckSession",
     "ContractionBackend",

@@ -24,11 +24,24 @@ from __future__ import annotations
 
 import abc
 import warnings
-from typing import Callable, ClassVar, Dict, List, Optional, Set, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
 
 from ..tensornet import ContractionStats, TensorNetwork
 from ..tensornet.ordering import ORDER_HEURISTICS
 from ..tensornet.planner import PLANNERS, ContractionPlan, build_plan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..parallel.executors import SliceExecutor
 
 
 class ContractionBackend(abc.ABC):
@@ -54,6 +67,10 @@ class ContractionBackend(abc.ABC):
         When set, plans are sliced so no intermediate tensor exceeds this
         many elements (:func:`repro.tensornet.planner.slice_plan`);
         contraction becomes a sum over index-fixed subplans.
+    executor:
+        Optional :class:`~repro.parallel.SliceExecutor` the backend
+        delegates sliced plans to — the slice-level parallelism hook.
+        ``None`` (the default) runs the slice-summation loop inline.
     """
 
     #: Registry name of the backend; concrete subclasses must override.
@@ -65,6 +82,7 @@ class ContractionBackend(abc.ABC):
         share_intermediates: bool = True,
         planner: str = "order",
         max_intermediate_size: Optional[int] = None,
+        executor: Optional["SliceExecutor"] = None,
     ):
         if order_method not in ORDER_HEURISTICS:
             raise ValueError(
@@ -82,6 +100,7 @@ class ContractionBackend(abc.ABC):
         self.share_intermediates = share_intermediates
         self.planner = planner
         self.max_intermediate_size = max_intermediate_size
+        self.executor = executor
         self._plan_cache: Dict[tuple, ContractionPlan] = {}
 
     @abc.abstractmethod
@@ -91,6 +110,7 @@ class ContractionBackend(abc.ABC):
         stats: Optional[ContractionStats] = None,
         cacheable_tensor_ids: Optional[Set[int]] = None,
         plan: Optional[ContractionPlan] = None,
+        assignments: Optional[Sequence[Dict[str, int]]] = None,
     ) -> complex:
         """Contract a closed ``network`` to its scalar value.
 
@@ -115,6 +135,13 @@ class ContractionBackend(abc.ABC):
             the "plan once, execute anywhere" entry point.  Must have
             been built for a network of identical structure and shapes.
             ``None`` (the default) uses :meth:`plan_for`.
+        assignments:
+            Execute only these slice assignments of a sliced plan and
+            return their *partial* sum (the worker-side entry point of
+            :mod:`repro.parallel`).  ``None`` executes every slice.  A
+            call carrying explicit assignments never re-dispatches to
+            the backend's executor, and does not re-record the plan's
+            predictions into ``stats``.
         """
 
     def plan_for(self, network: TensorNetwork) -> ContractionPlan:
@@ -167,12 +194,59 @@ class ContractionBackend(abc.ABC):
         )
         stats.slice_count = max(stats.slice_count, plan.num_slices())
 
+    def _resolve_plan(
+        self,
+        network: TensorNetwork,
+        stats: Optional[ContractionStats],
+        plan: Optional[ContractionPlan],
+        assignments: Optional[Sequence[Dict[str, int]]],
+    ) -> ContractionPlan:
+        """Shared ``contract_scalar`` preamble: plan lookup + recording.
+
+        Partial executions (explicit ``assignments``) skip the prediction
+        recording — the dispatching call recorded the full plan already,
+        and a chunk must not double-count it.
+        """
+        if plan is None:
+            plan = self.plan_for(network)
+        if assignments is None:
+            self._record_plan(stats, plan)
+        return plan
+
+    def _dispatch_slices(
+        self,
+        network: TensorNetwork,
+        plan: ContractionPlan,
+        stats: Optional[ContractionStats],
+        assignments: Optional[Sequence[Dict[str, int]]],
+    ) -> Optional[complex]:
+        """Hand a sliced plan to the backend's executor, if any.
+
+        Returns the contracted scalar, or ``None`` when the call should
+        run inline: no executor configured, nothing sliced, or the call
+        *is* an executor-issued partial (explicit ``assignments``) —
+        the guard that makes dispatch non-recursive.
+        """
+        if (
+            assignments is not None
+            or self.executor is None
+            or not plan.slices
+            or plan.num_slices() < 2
+        ):
+            return None
+        return self.executor.contract(self, network, plan, stats)
+
     def reset(self) -> None:
         """Drop all cached state (plans, managers, conversions)."""
         self._plan_cache.clear()
 
     def describe(self) -> Dict[str, object]:
-        """Lightweight description for logs and serialised results."""
+        """Lightweight description for logs and serialised results.
+
+        Deliberately excludes ``executor``: the spec doubles as the
+        picklable recipe worker processes rebuild backends from, and a
+        worker-side backend must run its slices inline.
+        """
         return {
             "name": self.name,
             "order_method": self.order_method,
@@ -189,8 +263,8 @@ class ContractionBackend(abc.ABC):
 
 
 #: Factories must accept the protocol keywords ``order_method``,
-#: ``share_intermediates``, ``planner`` and ``max_intermediate_size``
-#: (extra keywords are backend-specific).
+#: ``share_intermediates``, ``planner``, ``max_intermediate_size`` and
+#: ``executor`` (extra keywords are backend-specific).
 BackendFactory = Callable[..., ContractionBackend]
 
 _REGISTRY: Dict[str, BackendFactory] = {}

@@ -9,7 +9,7 @@ reference implementation for cross-backend tests.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Dict, Optional, Sequence, Set
 
 from ..tensornet import ContractionStats, Tensor, TensorNetwork
 from ..tensornet.planner import ContractionPlan, execute_plan
@@ -27,10 +27,12 @@ class DenseBackend(ContractionBackend):
         stats: Optional[ContractionStats] = None,
         cacheable_tensor_ids: Optional[Set[int]] = None,
         plan: Optional[ContractionPlan] = None,
+        assignments: Optional[Sequence[Dict[str, int]]] = None,
     ) -> complex:
-        if plan is None:
-            plan = self.plan_for(network)
-        self._record_plan(stats, plan)
+        plan = self._resolve_plan(network, stats, plan, assignments)
+        dispatched = self._dispatch_slices(network, plan, stats, assignments)
+        if dispatched is not None:
+            return dispatched
 
         def merge(a: Tensor, b: Tensor, step) -> Tensor:
             merged = a.contract(b)
@@ -43,4 +45,5 @@ class DenseBackend(ContractionBackend):
             load=list,
             merge=merge,
             scalar=Tensor.scalar,
+            assignments=assignments,
         )

@@ -17,7 +17,7 @@ for every structurally identical circuit pair.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -37,10 +37,14 @@ class NumpyEinsumBackend(ContractionBackend):
         stats: Optional[ContractionStats] = None,
         cacheable_tensor_ids: Optional[Set[int]] = None,
         plan: Optional[ContractionPlan] = None,
+        assignments: Optional[Sequence[Dict[str, int]]] = None,
     ) -> complex:
-        if plan is None:
-            plan = self.plan_for(network)
-        self._record_plan(stats, plan)
+        plan = self._resolve_plan(network, stats, plan, assignments)
+        if stats is not None:
+            stats.extra.setdefault("einsum_path_steps", len(plan.steps))
+        dispatched = self._dispatch_slices(network, plan, stats, assignments)
+        if dispatched is not None:
+            return dispatched
 
         def merge(a, b, step):
             mapping: Dict[str, int] = {}
@@ -74,7 +78,6 @@ class NumpyEinsumBackend(ContractionBackend):
             load=lambda tensors: [(t.data, t.indices) for t in tensors],
             merge=merge,
             scalar=scalar,
+            assignments=assignments,
         )
-        if stats is not None:
-            stats.extra.setdefault("einsum_path_steps", len(plan.steps))
         return total

@@ -15,7 +15,7 @@ generalised from one run to one session.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..tdd import Tdd, TddManager, ensure_recursion_limit
 from ..tensornet import ContractionStats, TensorNetwork
@@ -40,9 +40,11 @@ class TddBackend(ContractionBackend):
         share_intermediates: bool = True,
         planner: str = "order",
         max_intermediate_size: Optional[int] = None,
+        executor=None,
     ):
         super().__init__(
-            order_method, share_intermediates, planner, max_intermediate_size
+            order_method, share_intermediates, planner,
+            max_intermediate_size, executor,
         )
         self._manager: Optional[TddManager] = None
         #: id(tensor) -> (tensor, Tdd); entries survive only for tensors
@@ -60,11 +62,13 @@ class TddBackend(ContractionBackend):
         stats: Optional[ContractionStats] = None,
         cacheable_tensor_ids: Optional[Set[int]] = None,
         plan: Optional[ContractionPlan] = None,
+        assignments: Optional[Sequence[Dict[str, int]]] = None,
     ) -> complex:
         ensure_recursion_limit()
-        if plan is None:
-            plan = self.plan_for(network)
-        self._record_plan(stats, plan)
+        plan = self._resolve_plan(network, stats, plan, assignments)
+        dispatched = self._dispatch_slices(network, plan, stats, assignments)
+        if dispatched is not None:
+            return dispatched
         if self.share_intermediates:
             if self._manager is None:
                 self._manager = TddManager(list(plan.order))
@@ -116,7 +120,8 @@ class TddBackend(ContractionBackend):
             return merged
 
         total = execute_plan(
-            plan, network, load=load, merge=merge, scalar=Tdd.scalar
+            plan, network, load=load, merge=merge, scalar=Tdd.scalar,
+            assignments=assignments,
         )
         if cache is not None:
             # Per-term tensors die with the term; only tensors shared by

@@ -13,7 +13,12 @@ Commands
 ``batch``
     Check many QASM pairs listed in a manifest file through one shared
     :class:`~repro.core.session.CheckSession`, streaming one JSON result
-    per line (JSONL).
+    per line (JSONL).  ``--jobs N`` fans whole checks out to N worker
+    processes (output order stays deterministic); a bad row — malformed
+    manifest line, unreadable QASM, raising check — becomes an ``ERROR``
+    record instead of aborting the batch, and a run summary lands on
+    stderr.  Exit code: 0 all equivalent, 1 some non-equivalent, 2 any
+    error records.
 ``plan``
     Build the contraction plan for the chosen algorithm's network and
     print a step/width/cost report — without contracting anything.  Use
@@ -26,10 +31,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from .backends import available_backends
 from .circuits import qasm
-from .core import CheckConfig, CheckSession, jamiolkowski_fidelity
+from .core import (
+    CheckConfig,
+    CheckError,
+    CheckSession,
+    RunStats,
+    jamiolkowski_fidelity,
+)
 from .noise import (
     NoiseModel,
     amplitude_damping,
@@ -101,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "alg1", "alg2", "dense"],
     )
     _add_engine_args(batch)
+    batch.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run checks in N worker processes (results keep manifest "
+        "order; default 1 = serial)",
+    )
 
     plan = sub.add_parser(
         "plan",
@@ -273,8 +290,12 @@ def cmd_plan(args) -> int:
     return 0
 
 
-def read_manifest(path):
-    """Yield ``(ideal_path, noisy_path_or_None)`` entries of a manifest."""
+def iter_manifest(path):
+    """Yield ``(lineno, ideal, noisy_or_None, error_or_None)`` rows.
+
+    Malformed rows are *reported*, not raised: batch runs isolate per-row
+    failures, so a typo on line 40 cannot take down lines 1–39.
+    """
     with open(path) as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.split("#", 1)[0].strip()
@@ -282,33 +303,117 @@ def read_manifest(path):
                 continue
             parts = line.split()
             if len(parts) > 2:
-                raise ValueError(
+                yield lineno, None, None, (
                     f"{path}:{lineno}: expected 'ideal.qasm [noisy.qasm]', "
                     f"got {len(parts)} fields"
                 )
-            yield parts[0], parts[1] if len(parts) == 2 else None
+                continue
+            yield lineno, parts[0], (
+                parts[1] if len(parts) == 2 else None
+            ), None
+
+
+def read_manifest(path):
+    """Yield ``(ideal_path, noisy_path_or_None)`` entries of a manifest.
+
+    The strict form of :func:`iter_manifest`: malformed rows raise
+    ``ValueError`` (library callers who want fail-fast behaviour).
+    """
+    for _, ideal, noisy, error in iter_manifest(path):
+        if error is not None:
+            raise ValueError(error)
+        yield ideal, noisy
 
 
 def cmd_batch(args) -> int:
     session = _session_from(args)
-    entries = list(read_manifest(args.manifest))
+    start = time.perf_counter()
+    rows = list(iter_manifest(args.manifest))  # path metadata only
 
-    def pairs():
-        for ideal_path, noisy_path in entries:
-            ideal = qasm.load(ideal_path)
-            base = qasm.load(noisy_path) if noisy_path else ideal
-            yield ideal, _noisy_from(args, base)
+    totals = {"checked": 0, "equivalent": 0, "errors": 0}
+    run_stats = []
 
-    all_equivalent = True
-    for (ideal_path, noisy_path), result in zip(
-        entries, session.check_many(pairs())
-    ):
-        record = result.to_dict()
+    def load_pair(ideal_path, noisy_path):
+        ideal = qasm.load(ideal_path)
+        base = qasm.load(noisy_path) if noisy_path else ideal
+        return ideal, _noisy_from(args, base)
+
+    def error_record(error_type, message):
+        return {
+            "equivalent": False,
+            "verdict": "ERROR",
+            "error": message,
+            "error_type": error_type,
+        }
+
+    def emit(lineno, ideal_path, noisy_path, record):
+        if record["verdict"] == "ERROR":
+            totals["errors"] += 1
+        else:
+            totals["checked"] += 1
+            totals["equivalent"] += int(record["equivalent"])
+        record["line"] = lineno
         record["ideal"] = ideal_path
         record["noisy"] = noisy_path or ideal_path
         print(json.dumps(record), flush=True)
-        all_equivalent = all_equivalent and result.equivalent
-    return 0 if all_equivalent else 1
+
+    if args.jobs == 1:
+        # Serial runs stay streaming: one pair lives at a time, and each
+        # record prints as soon as its check finishes.
+        for lineno, ideal_path, noisy_path, error in rows:
+            if error is not None:
+                emit(lineno, ideal_path, noisy_path,
+                     error_record("ManifestError", error))
+                continue
+            try:
+                result = session.check(*load_pair(ideal_path, noisy_path))
+                run_stats.append(result.stats)
+            except Exception as exc:
+                result = CheckError(
+                    error=str(exc), error_type=type(exc).__name__
+                )
+            emit(lineno, ideal_path, noisy_path, result.to_dict())
+    else:
+        # Parallel runs materialise circuits up front (the pool needs
+        # every task to schedule) and capture per-row load failures.
+        loaded = []  # (lineno, ideal_path, noisy_path, pair, error)
+        for lineno, ideal_path, noisy_path, error in rows:
+            pair = None
+            if error is not None:
+                error = ("ManifestError", error)
+            else:
+                try:
+                    pair = load_pair(ideal_path, noisy_path)
+                except Exception as exc:
+                    error = (type(exc).__name__, str(exc))
+            loaded.append((lineno, ideal_path, noisy_path, pair, error))
+        outcomes = session.check_many(
+            [row[3] for row in loaded if row[3] is not None],
+            jobs=args.jobs,
+            isolate_errors=True,
+        )
+        for lineno, ideal_path, noisy_path, pair, error in loaded:
+            if error is not None:
+                emit(lineno, ideal_path, noisy_path, error_record(*error))
+                continue
+            result = next(outcomes)
+            if result.verdict != "ERROR":
+                run_stats.append(result.stats)
+            emit(lineno, ideal_path, noisy_path, result.to_dict())
+
+    wall = time.perf_counter() - start
+    merged = RunStats.merge(run_stats, wall_seconds=wall)
+    print(
+        f"batch: {len(rows)} rows, {totals['checked']} checked, "
+        f"{totals['equivalent']} equivalent, "
+        f"{totals['checked'] - totals['equivalent']} not equivalent, "
+        f"{totals['errors']} errors; wall {merged.time_seconds:.3f}s, "
+        f"cpu {merged.cpu_seconds:.3f}s, jobs={args.jobs}",
+        file=sys.stderr,
+    )
+    if totals["errors"]:
+        return 2
+    return 0 if totals["equivalent"] == totals["checked"] else 1
 
 
 def main(argv=None) -> int:

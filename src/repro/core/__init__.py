@@ -32,7 +32,7 @@ from .miter import (
     lower_kraus_selection,
     miter_circuit,
 )
-from .stats import CheckResult, FidelityResult, RunStats
+from .stats import CheckError, CheckResult, FidelityResult, RunStats
 from .unitary_check import (
     UnitaryCheckResult,
     check_unitary_equivalence,
@@ -42,6 +42,7 @@ from .unitary_check import (
 __all__ = [
     "AUTO_ALG1_MAX_NOISES",
     "CheckConfig",
+    "CheckError",
     "CheckResult",
     "CheckSession",
     "EquivalenceChecker",

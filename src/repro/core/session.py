@@ -28,7 +28,7 @@ from ..tensornet.planner import PLANNERS
 from .algorithm1 import fidelity_individual
 from .algorithm2 import fidelity_collective
 from .jamiolkowski import jamiolkowski_fidelity_dense
-from .stats import CheckResult, FidelityResult, RunStats
+from .stats import CheckError, CheckResult, FidelityResult, RunStats
 
 #: Noise-site count at or below which 'auto' prefers Algorithm I.  Fig. 7
 #: shows the crossover at roughly one noise for small circuits; we keep a
@@ -237,15 +237,53 @@ class CheckSession:
     def check_many(
         self,
         pairs: Iterable[Tuple[QuantumCircuit, QuantumCircuit]],
-    ) -> Iterator[CheckResult]:
+        *,
+        jobs: int = 1,
+        isolate_errors: bool = False,
+    ) -> Iterator[Union[CheckResult, CheckError]]:
         """Check each ``(ideal, noisy)`` pair, streaming the results.
 
-        Lazily yields one :class:`CheckResult` per pair; the shared
+        Yields one outcome per pair, always in input order.  With the
+        default ``jobs=1`` pairs run serially in-process and the shared
         backend state carries over from pair to pair, which is the point
-        of batching.
+        of batching.  With ``jobs > 1`` whole checks fan out to a pool
+        of worker processes (each worker keeps its own warm session);
+        this requires the config's backend to be a registry *name*, not
+        a live instance, and materialises ``pairs`` up front.
+
+        ``isolate_errors`` turns a raising check into a
+        :class:`~repro.core.stats.CheckError` record (carrying the
+        item's index and the exception) instead of aborting the batch;
+        without it the first failure propagates, in serial and parallel
+        runs alike.
         """
-        for ideal, noisy in pairs:
-            yield self.check(ideal, noisy)
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if jobs > 1:
+            from ..parallel.batch import iter_parallel_checks
+
+            return iter_parallel_checks(
+                self.config, pairs, jobs, isolate_errors
+            )
+        return self._check_many_serial(pairs, isolate_errors)
+
+    def _check_many_serial(
+        self,
+        pairs: Iterable[Tuple[QuantumCircuit, QuantumCircuit]],
+        isolate_errors: bool,
+    ) -> Iterator[Union[CheckResult, CheckError]]:
+        for index, (ideal, noisy) in enumerate(pairs):
+            if not isolate_errors:
+                yield self.check(ideal, noisy)
+                continue
+            try:
+                yield self.check(ideal, noisy)
+            except Exception as exc:
+                yield CheckError(
+                    error=str(exc),
+                    error_type=type(exc).__name__,
+                    index=index,
+                )
 
     def fidelity(
         self, ideal: QuantumCircuit, noisy: QuantumCircuit

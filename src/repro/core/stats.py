@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 
 @dataclass
@@ -23,6 +23,10 @@ class RunStats:
     backend: str = ""
     #: wall-clock seconds for the whole computation
     time_seconds: float = 0.0
+    #: summed per-run compute seconds when stats are merged across a
+    #: (possibly parallel) batch; 0 on a single run.  Under ``jobs > 1``
+    #: this exceeds ``time_seconds`` — that gap *is* the parallel speedup.
+    cpu_seconds: float = 0.0
     #: peak TDD node count across all intermediate diagrams ('nodes' column)
     max_nodes: int = 0
     #: peak dense intermediate size (dense/einsum backends only)
@@ -53,6 +57,59 @@ class RunStats:
         """JSON form; ``kwargs`` forward to :func:`json.dumps`."""
         return json.dumps(self.to_dict(), **kwargs)
 
+    @classmethod
+    def merge(
+        cls,
+        runs: Iterable["RunStats"],
+        wall_seconds: Optional[float] = None,
+    ) -> "RunStats":
+        """Aggregate many runs' stats into one batch-level record.
+
+        Merging is parallelism-aware: ``cpu_seconds`` *sums* each run's
+        compute time (what the hardware worked), while ``time_seconds``
+        is the caller-measured ``wall_seconds`` (what the user waited) —
+        under ``jobs > 1`` the two legitimately diverge, and their ratio
+        is the achieved speedup.  When no wall clock is supplied the
+        serial assumption ``time_seconds == cpu_seconds`` applies.
+
+        Peaks (``max_nodes``, ``max_intermediate_size``,
+        ``predicted_peak_size``, ``slice_count``) take the maximum,
+        counters (``predicted_cost``, ``terms_*``) sum, flags OR, and
+        ``algorithm``/``backend`` keep a common value or become
+        ``"mixed"``.  Per-term timings are not concatenated (they are a
+        per-run diagnostic, meaningless across runs).
+        """
+        merged = cls()
+        runs = [run for run in runs if run is not None]
+        if runs:
+            algorithms = {run.algorithm for run in runs}
+            backends = {run.backend for run in runs}
+            merged.algorithm = (
+                algorithms.pop() if len(algorithms) == 1 else "mixed"
+            )
+            merged.backend = backends.pop() if len(backends) == 1 else "mixed"
+            merged.cpu_seconds = sum(
+                run.cpu_seconds if run.cpu_seconds else run.time_seconds
+                for run in runs
+            )
+            merged.max_nodes = max(run.max_nodes for run in runs)
+            merged.max_intermediate_size = max(
+                run.max_intermediate_size for run in runs
+            )
+            merged.predicted_cost = sum(run.predicted_cost for run in runs)
+            merged.predicted_peak_size = max(
+                run.predicted_peak_size for run in runs
+            )
+            merged.slice_count = max(run.slice_count for run in runs)
+            merged.terms_computed = sum(run.terms_computed for run in runs)
+            merged.terms_total = sum(run.terms_total for run in runs)
+            merged.early_stopped = any(run.early_stopped for run in runs)
+            merged.timed_out = any(run.timed_out for run in runs)
+        merged.time_seconds = (
+            wall_seconds if wall_seconds is not None else merged.cpu_seconds
+        )
+        return merged
+
 
 @dataclass
 class FidelityResult:
@@ -74,6 +131,49 @@ class FidelityResult:
             "is_lower_bound": self.is_lower_bound,
             "stats": self.stats.to_dict(),
         }
+
+
+@dataclass
+class CheckError:
+    """Error record standing in for one failed item of a batch.
+
+    Batch runs with error isolation (``check_many(isolate_errors=True)``,
+    the CLI's ``batch`` command) yield one of these — instead of crashing
+    the whole batch — when a single item raises.  It mirrors the
+    :class:`CheckResult` surface that batch consumers touch
+    (``equivalent``, ``verdict``, ``to_dict``/``to_json``) so result
+    streams stay homogeneous to iterate.
+    """
+
+    #: the exception message
+    error: str
+    #: the exception class name (the exception object itself may not
+    #: survive a trip through a worker process)
+    error_type: str = "Exception"
+    #: position of the failed item in the batch input (None = unknown)
+    index: Optional[int] = None
+
+    #: an errored check never attests equivalence
+    equivalent: bool = field(default=False, init=False)
+
+    @property
+    def verdict(self) -> str:
+        """Verdict string, uniform with :attr:`CheckResult.verdict`."""
+        return "ERROR"
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe)."""
+        return {
+            "equivalent": False,
+            "verdict": self.verdict,
+            "error": self.error,
+            "error_type": self.error_type,
+            "index": self.index,
+        }
+
+    def to_json(self, **kwargs) -> str:
+        """JSON form; ``kwargs`` forward to :func:`json.dumps`."""
+        return json.dumps(self.to_dict(), **kwargs)
 
 
 @dataclass

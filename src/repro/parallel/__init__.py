@@ -1,0 +1,42 @@
+"""The parallel execution subsystem.
+
+Two levels of parallelism, matching the two levels of independent work
+the contraction-plan IR exposes:
+
+* **slice-level** — a sliced
+  :class:`~repro.tensornet.planner.ContractionPlan` is a sum over
+  independent index-fixed subplan executions; a :class:`SliceExecutor`
+  (attach one to any backend via the ``executor=`` constructor keyword)
+  fans those assignments out to a worker-process pool in amortising
+  chunks and sums the partial scalars;
+* **batch-level** — a batch of equivalence checks is a set of
+  independent whole computations;
+  :func:`~repro.parallel.batch.iter_parallel_checks` (behind
+  ``CheckSession.check_many(jobs=N)`` and the CLI's ``batch --jobs N``)
+  runs each check in a worker pool with deterministic result ordering
+  and per-item error isolation.
+
+Both levels transport plain picklable payloads and keep per-worker
+state (backend instances, sessions, TDD managers, plan caches) warm in
+module-global caches inside each worker process.
+"""
+
+from .batch import iter_parallel_checks
+from .executors import (
+    CHUNKS_PER_JOB,
+    ProcessSliceExecutor,
+    SerialExecutor,
+    SliceExecutor,
+    chunk_assignments,
+    make_executor,
+)
+
+__all__ = [
+    "CHUNKS_PER_JOB",
+    "ProcessSliceExecutor",
+    "SerialExecutor",
+    "SliceExecutor",
+    "chunk_assignments",
+    "iter_parallel_checks",
+    "make_executor",
+]

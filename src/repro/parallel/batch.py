@@ -1,0 +1,81 @@
+"""Batch-level parallelism: many whole checks across a worker pool.
+
+The paper frames equivalence checking of noisy circuits as many
+independent computations, and a batch manifest is exactly that: each
+``(ideal, noisy)`` pair can run on its own core.  This module is the
+driver behind ``CheckSession.check_many(jobs=N)`` and the CLI's
+``batch --jobs N``: it submits every pair to a
+``ProcessPoolExecutor`` (one :class:`CheckSession` per worker process,
+cached in :mod:`repro.parallel.worker`, so backend state stays warm
+within each worker) and yields results **in input order** regardless of
+completion order — parallel output is byte-comparable with serial
+output.
+
+Error isolation: with ``isolate_errors`` a raising check yields a
+:class:`~repro.core.stats.CheckError` record carrying the item's index
+and the exception, and the remaining items still run; without it the
+first failure propagates (after the pool drains) exactly like the
+serial path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Iterator, Tuple, Union
+
+from ..backends import ContractionBackend
+from ..core.stats import CheckError, CheckResult
+from .worker import run_check_item
+
+BatchOutcome = Union[CheckResult, CheckError]
+
+
+def iter_parallel_checks(
+    config,
+    pairs: Iterable[Tuple[object, object]],
+    jobs: int,
+    isolate_errors: bool = False,
+) -> Iterator[BatchOutcome]:
+    """Run every ``(ideal, noisy)`` pair under ``config`` on ``jobs`` workers.
+
+    Yields one outcome per pair, in input order.  Validation and the
+    materialisation of ``pairs`` happen *at call time* (this is a plain
+    function returning a generator, not itself a generator), so a bad
+    config fails at the call site and later mutation of the input
+    iterable cannot change what runs.  The pool is created lazily and
+    lives exactly as long as the returned generator.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    if isinstance(config.backend, ContractionBackend):
+        raise ValueError(
+            "parallel check_many cannot ship a live backend instance to "
+            "worker processes; configure the backend by registry name "
+            "(e.g. backend='tdd') instead"
+        )
+    items = list(pairs)
+    return _drain_pool(config, items, jobs, isolate_errors)
+
+
+def _drain_pool(
+    config, items, jobs: int, isolate_errors: bool
+) -> Iterator[BatchOutcome]:
+    if not items:
+        return
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        futures = [
+            pool.submit(run_check_item, config, index, ideal, noisy,
+                        isolate_errors)
+            for index, (ideal, noisy) in enumerate(items)
+        ]
+        # Futures are consumed in submission order, so results stream in
+        # input order no matter which worker finishes first.
+        for future in futures:
+            index, result, error = future.result()
+            if error is not None:
+                error_type, message = error
+                yield CheckError(
+                    error=message, error_type=error_type, index=index
+                )
+            else:
+                yield result

@@ -10,10 +10,14 @@ from .circuit_tn import (
 from .network import ContractionStats, TensorNetwork
 from .planner import (
     PLANNERS,
+    SLICE_HARD_LIMIT,
     ContractionPlan,
     ContractionStep,
+    SliceApplier,
     build_plan,
+    execute_plan,
     greedy_plan,
+    iter_slice_assignments,
     plan_from_order,
     slice_plan,
 )
@@ -30,13 +34,17 @@ from .tensor import Tensor, gate_tensor, identity_tensor, scalar_tensor
 __all__ = [
     "ORDER_HEURISTICS",
     "PLANNERS",
+    "SLICE_HARD_LIMIT",
     "CircuitNetwork",
     "ContractionPlan",
     "ContractionStats",
     "ContractionStep",
+    "SliceApplier",
     "Tensor",
     "TensorNetwork",
     "build_plan",
+    "execute_plan",
+    "iter_slice_assignments",
     "circuit_to_network",
     "circuit_trace",
     "close_trace",

@@ -50,6 +50,13 @@ PLANNERS = ("order", "greedy")
 #: silently turn one contraction into billions.
 SLICE_WARN_THRESHOLD = 65536
 
+#: Default hard cap on subplan executions: :func:`slice_plan` *raises*
+#: (not just warns) when a bound implies more slices than this, because a
+#: contraction that needs tens of millions of subplan runs will never
+#: finish and should fail at planning time, not hours into execution.
+#: Override per call via the ``max_slices`` argument.
+SLICE_HARD_LIMIT = 1 << 24
+
 
 @dataclass(frozen=True)
 class ContractionStep:
@@ -342,6 +349,7 @@ def build_plan(
     planner: str = "order",
     order_method: str = "tree_decomposition",
     max_intermediate_size: Optional[int] = None,
+    max_slices: Optional[int] = None,
 ) -> ContractionPlan:
     """One-stop plan construction: pick a planner, optionally slice."""
     if planner == "order":
@@ -353,7 +361,7 @@ def build_plan(
             f"unknown planner {planner!r}; choose from {sorted(PLANNERS)}"
         )
     if max_intermediate_size is not None:
-        plan = slice_plan(plan, max_intermediate_size)
+        plan = slice_plan(plan, max_intermediate_size, max_slices=max_slices)
     return plan
 
 
@@ -373,7 +381,9 @@ def _resliced_steps(
 
 
 def slice_plan(
-    plan: ContractionPlan, max_intermediate_size: int
+    plan: ContractionPlan,
+    max_intermediate_size: int,
+    max_slices: Optional[int] = None,
 ) -> ContractionPlan:
     """Bound every intermediate by fixing (slicing) chosen indices.
 
@@ -383,9 +393,18 @@ def slice_plan(
     sum over index-fixed subplans: execution runs the same step positions
     once per joint slice-index assignment and sums the scalars.  Returns
     ``plan`` unchanged when it already fits the bound.
+
+    ``max_slices`` caps the number of subplan executions the bound may
+    imply (default :data:`SLICE_HARD_LIMIT`); a tighter-than-feasible
+    ``max_intermediate_size`` raises ``ValueError`` instead of silently
+    scheduling a contraction that would never finish.
     """
     if max_intermediate_size < 1:
         raise ValueError("max_intermediate_size must be at least 1")
+    if max_slices is None:
+        max_slices = SLICE_HARD_LIMIT
+    elif max_slices < 1:
+        raise ValueError("max_slices must be at least 1")
     if plan.peak_size() <= max_intermediate_size:
         return plan
     sliced: Set[str] = set(plan.slices)
@@ -413,6 +432,13 @@ def slice_plan(
     result = replace(
         plan, steps=tuple(steps), slices=tuple(sorted(sliced))
     )
+    if result.num_slices() > max_slices:
+        raise ValueError(
+            f"slicing to max_intermediate_size={max_intermediate_size} "
+            f"requires {result.num_slices()} subplan executions, above the "
+            f"max_slices cap of {max_slices}; loosen the bound or raise "
+            "max_slices"
+        )
     if result.num_slices() > SLICE_WARN_THRESHOLD:
         warnings.warn(
             f"slicing to max_intermediate_size={max_intermediate_size} "
@@ -444,7 +470,46 @@ def iter_slice_assignments(
         yield dict(zip(plan.slices, values))
 
 
-def execute_plan(plan, network, *, load, merge, scalar) -> complex:
+class SliceApplier:
+    """Precomputed slice-fixing of a network's tensors.
+
+    Self-tracing and the per-tensor bookkeeping (which axes carry sliced
+    labels, which labels survive) are assignment-independent, so they are
+    derived once at construction; applying one of potentially millions of
+    slice assignments then only indexes ndarrays.
+    """
+
+    def __init__(self, tensors: Sequence[Tensor], slices: Sequence[str]):
+        self.flat: List[Tensor] = [t.self_trace() for t in tensors]
+        sliced = set(slices)
+        #: per tensor: (positions of sliced axes, surviving labels)
+        self._layout: List[Tuple[List[int], List[str]]] = [
+            (
+                [ax for ax, lab in enumerate(t.indices) if lab in sliced],
+                [lab for lab in t.indices if lab not in sliced],
+            )
+            for t in self.flat
+        ]
+
+    def __call__(self, assignment: Dict[str, int]) -> List[Tensor]:
+        """Operands with every sliced axis fixed to its assigned value."""
+        if not assignment:
+            return list(self.flat)
+        operands: List[Tensor] = []
+        for tensor, (positions, kept) in zip(self.flat, self._layout):
+            if not positions:
+                operands.append(tensor)
+                continue
+            indexer: List[object] = [slice(None)] * tensor.rank
+            for axis in positions:
+                indexer[axis] = assignment[tensor.indices[axis]]
+            operands.append(Tensor(tensor.data[tuple(indexer)], kept))
+        return operands
+
+
+def execute_plan(
+    plan, network, *, load, merge, scalar, assignments=None
+) -> complex:
     """Drive a plan over a network with backend-supplied callbacks.
 
     The one place that owns the step-position protocol (remove rhs then
@@ -462,12 +527,18 @@ def execute_plan(plan, network, *, load, merge, scalar) -> complex:
     scalar:
         ``scalar(operand) -> complex`` extracting the final value of one
         subplan execution; results are summed over all slices.
+    assignments:
+        Execute only these slice assignments (a subset of
+        :func:`iter_slice_assignments`) and return their partial sum —
+        the hook :mod:`repro.parallel` uses to fan independent slices
+        out to workers.  ``None`` (the default) executes every slice.
     """
-    # Self-tracing is assignment-independent: do it once, not per slice.
-    flat = [tensor.self_trace() for tensor in network.tensors]
+    applier = SliceApplier(network.tensors, plan.slices)
+    if assignments is None:
+        assignments = iter_slice_assignments(plan)
     total = 0j
-    for assignment in iter_slice_assignments(plan):
-        ops = load(_apply_assignment(flat, assignment))
+    for assignment in assignments:
+        ops = load(applier(assignment))
         for step in plan.steps:
             a, b = ops[step.lhs], ops[step.rhs]
             del ops[step.rhs]
@@ -481,14 +552,4 @@ def _apply_assignment(
     flat: Sequence[Tensor], assignment: Dict[str, int]
 ) -> List[Tensor]:
     """Fix sliced axes of already-self-traced tensors (dropping them)."""
-    if not assignment:
-        return list(flat)
-    operands: List[Tensor] = []
-    for tensor in flat:
-        indexer = tuple(
-            assignment[lab] if lab in assignment else slice(None)
-            for lab in tensor.indices
-        )
-        kept = [lab for lab in tensor.indices if lab not in assignment]
-        operands.append(Tensor(tensor.data[indexer], kept))
-    return operands
+    return SliceApplier(flat, list(assignment))(assignment)

@@ -1,0 +1,110 @@
+"""Unit tests for stats aggregation and worker-transport serialisation."""
+
+import pickle
+
+import pytest
+
+from repro.core import CheckConfig, CheckError, CheckResult, CheckSession, RunStats
+from repro.library import qft
+from repro.noise import insert_random_noise
+from repro.tensornet import build_plan
+from repro.core.miter import algorithm_network
+
+
+def checked_result() -> CheckResult:
+    ideal = qft(3)
+    noisy = insert_random_noise(ideal, 2, seed=0)
+    return CheckSession(CheckConfig(epsilon=0.05)).check(ideal, noisy)
+
+
+class TestRunStatsMerge:
+    def test_merge_sums_cpu_and_takes_wall_clock(self):
+        runs = [
+            RunStats(algorithm="alg2", backend="tdd", time_seconds=2.0,
+                     max_nodes=10, predicted_cost=100, terms_total=4),
+            RunStats(algorithm="alg2", backend="tdd", time_seconds=3.0,
+                     max_nodes=40, predicted_cost=50, terms_total=2),
+        ]
+        merged = RunStats.merge(runs, wall_seconds=3.5)
+        assert merged.cpu_seconds == 5.0   # summed compute
+        assert merged.time_seconds == 3.5  # what the user waited
+        assert merged.max_nodes == 40      # peak, not sum
+        assert merged.predicted_cost == 150  # counter, summed
+        assert merged.terms_total == 6
+        assert merged.algorithm == "alg2"
+        assert merged.backend == "tdd"
+
+    def test_merge_without_wall_clock_is_serial(self):
+        runs = [RunStats(time_seconds=1.0), RunStats(time_seconds=2.0)]
+        merged = RunStats.merge(runs)
+        assert merged.time_seconds == merged.cpu_seconds == 3.0
+
+    def test_merge_mixed_provenance(self):
+        runs = [
+            RunStats(algorithm="alg1", backend="tdd", early_stopped=True),
+            RunStats(algorithm="alg2", backend="dense", timed_out=True),
+        ]
+        merged = RunStats.merge(runs)
+        assert merged.algorithm == "mixed"
+        assert merged.backend == "mixed"
+        assert merged.early_stopped and merged.timed_out
+
+    def test_merge_of_merged_stats_keeps_cpu_totals(self):
+        """Re-merging batch aggregates must not lose summed CPU time."""
+        first = RunStats.merge(
+            [RunStats(time_seconds=1.0), RunStats(time_seconds=1.0)],
+            wall_seconds=1.2,
+        )
+        again = RunStats.merge([first, RunStats(time_seconds=3.0)],
+                               wall_seconds=4.0)
+        assert again.cpu_seconds == 5.0
+        assert again.time_seconds == 4.0
+
+    def test_merge_empty(self):
+        merged = RunStats.merge([])
+        assert merged.time_seconds == 0.0
+        merged = RunStats.merge([], wall_seconds=1.5)
+        assert merged.time_seconds == 1.5
+
+    def test_merge_skips_none_entries(self):
+        merged = RunStats.merge([None, RunStats(time_seconds=2.0)])
+        assert merged.cpu_seconds == 2.0
+
+
+class TestPickleRoundTrip:
+    """Worker transport runs on pickle; these types must survive it."""
+
+    def test_run_stats(self):
+        stats = RunStats(algorithm="alg1", backend="tdd", time_seconds=1.0,
+                         max_nodes=7, term_times=[0.1, 0.2])
+        assert pickle.loads(pickle.dumps(stats)) == stats
+
+    def test_check_result_from_a_real_check(self):
+        result = checked_result()
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone == result
+        assert clone.verdict == result.verdict
+        assert clone.stats.max_nodes == result.stats.max_nodes
+
+    def test_check_error(self):
+        error = CheckError(error="boom", error_type="ValueError", index=2)
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone == error
+        assert clone.verdict == "ERROR"
+
+    def test_check_config_hashable_and_picklable(self):
+        config = CheckConfig(epsilon=0.05, backend="einsum")
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert hash(clone) == hash(config)  # worker session-cache key
+
+    def test_contraction_plan(self):
+        ideal = qft(2)
+        noisy = insert_random_noise(ideal, 1, seed=0)
+        network = algorithm_network(noisy, ideal, "alg2")
+        plan = build_plan(network, max_intermediate_size=8)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.steps == plan.steps
+        assert clone.slices == plan.slices
+        assert clone.num_slices() == plan.num_slices()
+        assert clone.dims == plan.dims

@@ -1,0 +1,108 @@
+"""Unit tests for batch-level parallel checking (check_many jobs=N)."""
+
+import numpy as np
+import pytest
+
+from repro.backends import DenseBackend
+from repro.core import CheckConfig, CheckError, CheckResult, CheckSession
+from repro.library import qft
+from repro.noise import insert_random_noise
+
+
+def make_pairs(count=3, noises=2):
+    ideal = qft(3)
+    return [
+        (ideal, insert_random_noise(ideal, noises, seed=seed))
+        for seed in range(count)
+    ]
+
+
+def bad_pair():
+    """Mismatched qubit counts: check() raises ValueError."""
+    return qft(2), qft(3)
+
+
+class TestParallelCheckMany:
+    def test_matches_serial_results_in_order(self):
+        pairs = make_pairs(4)
+        session = CheckSession(CheckConfig(epsilon=0.05))
+        serial = list(session.check_many(pairs))
+        parallel = list(session.check_many(pairs, jobs=2))
+        assert len(parallel) == len(serial) == 4
+        for a, b in zip(serial, parallel):
+            assert isinstance(b, CheckResult)
+            assert b.equivalent == a.equivalent
+            assert b.algorithm == a.algorithm
+            assert np.isclose(b.fidelity, a.fidelity, atol=1e-12)
+
+    def test_results_stream_lazily_in_input_order(self):
+        pairs = make_pairs(3)
+        session = CheckSession(CheckConfig(epsilon=0.05))
+        iterator = session.check_many(pairs, jobs=2)
+        first = next(iterator)
+        assert isinstance(first, CheckResult)
+        rest = list(iterator)
+        assert len(rest) == 2
+
+    def test_jobs_validated(self):
+        session = CheckSession()
+        with pytest.raises(ValueError):
+            session.check_many([], jobs=0)
+
+    def test_empty_batch(self):
+        session = CheckSession()
+        assert list(session.check_many([], jobs=2)) == []
+
+    def test_instance_backend_rejected_for_parallel_runs(self):
+        session = CheckSession(CheckConfig(backend=DenseBackend()))
+        with pytest.raises(ValueError, match="registry name"):
+            list(session.check_many(make_pairs(1), jobs=2))
+
+    def test_unisolated_error_propagates(self):
+        session = CheckSession(CheckConfig(epsilon=0.05))
+        with pytest.raises(ValueError):
+            list(session.check_many([bad_pair()], jobs=2))
+
+
+class TestErrorIsolation:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failing_item_becomes_error_record(self, jobs):
+        pairs = make_pairs(2)
+        mixed = [pairs[0], bad_pair(), pairs[1]]
+        session = CheckSession(CheckConfig(epsilon=0.05))
+        outcomes = list(
+            session.check_many(mixed, jobs=jobs, isolate_errors=True)
+        )
+        assert [type(o).__name__ for o in outcomes] == [
+            "CheckResult", "CheckError", "CheckResult",
+        ]
+        error = outcomes[1]
+        assert error.verdict == "ERROR"
+        assert not error.equivalent
+        assert error.index == 1
+        assert error.error_type == "ValueError"
+        assert "qubits" in error.error
+        for outcome in (outcomes[0], outcomes[2]):
+            assert outcome.equivalent
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_all_failures_still_yield_one_record_each(self, jobs):
+        session = CheckSession(CheckConfig(epsilon=0.05))
+        outcomes = list(
+            session.check_many(
+                [bad_pair(), bad_pair()], jobs=jobs, isolate_errors=True
+            )
+        )
+        assert len(outcomes) == 2
+        assert all(isinstance(o, CheckError) for o in outcomes)
+        assert [o.index for o in outcomes] == [0, 1]
+
+    def test_error_record_serialises(self):
+        error = CheckError(error="boom", error_type="RuntimeError", index=3)
+        record = error.to_dict()
+        assert record["verdict"] == "ERROR"
+        assert record["equivalent"] is False
+        assert record["index"] == 3
+        import json
+
+        assert json.loads(error.to_json())["error"] == "boom"

@@ -212,3 +212,60 @@ class TestBackendPlanProtocol:
             issubclass(w.category, DeprecationWarning) for w in caught
         )
         assert sorted(order) == sorted(net.all_indices())
+
+
+class TestSliceHardCap:
+    def test_explicit_max_slices_raises_on_blowup(self):
+        net = qft_network()
+        plan = plan_from_order(net)
+        sliced = slice_plan(plan, 4)
+        assert sliced.num_slices() > 2
+        with pytest.raises(ValueError, match="max_slices"):
+            slice_plan(plan, 4, max_slices=2)
+
+    def test_cap_at_or_above_slice_count_passes(self):
+        plan = plan_from_order(qft_network())
+        sliced = slice_plan(plan, 4)
+        again = slice_plan(plan, 4, max_slices=sliced.num_slices())
+        assert again.num_slices() == sliced.num_slices()
+
+    def test_default_cap_is_the_module_constant(self):
+        from repro.tensornet import SLICE_HARD_LIMIT
+
+        assert SLICE_HARD_LIMIT > 2**20  # far above any sane workload
+
+    def test_max_slices_validated(self):
+        plan = plan_from_order(qft_network())
+        with pytest.raises(ValueError, match="max_slices"):
+            slice_plan(plan, 4, max_slices=0)
+
+    def test_build_plan_forwards_max_slices(self):
+        net = qft_network()
+        with pytest.raises(ValueError, match="max_slices"):
+            build_plan(net, max_intermediate_size=4, max_slices=2)
+
+
+class TestSliceApplier:
+    def test_precomputed_applier_matches_legacy_helper(self):
+        from repro.tensornet import SliceApplier
+
+        net = qft_network()
+        plan = slice_plan(plan_from_order(net), 4)
+        applier = SliceApplier(net.tensors, plan.slices)
+        flat = [t.self_trace() for t in net.tensors]
+        for assignment in iter_slice_assignments(plan):
+            fast = applier(assignment)
+            slow = _apply_assignment(flat, assignment)
+            for a, b in zip(fast, slow):
+                assert a.indices == b.indices
+                assert np.array_equal(a.data, b.data)
+
+    def test_empty_assignment_returns_self_traced_operands(self):
+        from repro.tensornet import SliceApplier
+
+        net = qft_network()
+        applier = SliceApplier(net.tensors, [])
+        operands = applier({})
+        assert len(operands) == len(net.tensors)
+        for tensor in operands:
+            assert len(set(tensor.indices)) == len(tensor.indices)

@@ -262,3 +262,81 @@ class TestPlanCommand:
         assert code == 0
         assert record["stats"]["max_intermediate_size"] <= 64
         assert record["stats"]["predicted_cost"] > 0
+
+
+class TestBatchFailureIsolation:
+    @pytest.fixture
+    def broken_manifest(self, tmp_path, qasm_file):
+        path = tmp_path / "broken.txt"
+        path.write_text(
+            f"{qasm_file}\n"
+            "missing.qasm\n"            # unreadable file
+            "a.qasm b.qasm c.qasm\n"    # malformed row
+            f"{qasm_file}\n"
+        )
+        return str(path)
+
+    def test_bad_rows_become_error_records(self, broken_manifest, capsys):
+        code = main([
+            "batch", broken_manifest, "--noises", "1", "--epsilon", "0.05",
+        ])
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in
+                   captured.out.strip().splitlines()]
+        assert code == 2  # errors present -> distinct exit code
+        assert [r["verdict"] for r in records] == [
+            "EQUIVALENT", "ERROR", "ERROR", "EQUIVALENT",
+        ]
+        assert records[1]["error_type"] == "FileNotFoundError"
+        assert records[2]["error_type"] == "ManifestError"
+        assert [r["line"] for r in records] == [1, 2, 3, 4]
+        assert "2 errors" in captured.err
+        assert "2 checked" in captured.err
+
+    def test_summary_reports_wall_and_cpu(self, broken_manifest, capsys):
+        main(["batch", broken_manifest, "--noises", "1", "--epsilon", "0.05"])
+        err = capsys.readouterr().err
+        assert "wall " in err and "cpu " in err and "jobs=1" in err
+
+
+class TestBatchJobs:
+    @pytest.fixture
+    def manifest4(self, tmp_path):
+        paths = []
+        for n in (2, 3):
+            path = tmp_path / f"qft{n}.qasm"
+            qasm.dump(qft(n), path)
+            paths.append(str(path))
+        manifest = tmp_path / "manifest.txt"
+        manifest.write_text("".join(f"{p}\n" for p in paths + paths))
+        return str(manifest)
+
+    def test_jobs_output_matches_serial_order(self, manifest4, capsys):
+        flags = ["--noises", "1", "--epsilon", "0.05", "--backend", "einsum"]
+        code_serial = main(["batch", manifest4, *flags])
+        serial = [json.loads(line) for line in
+                  capsys.readouterr().out.strip().splitlines()]
+        code_parallel = main(["batch", manifest4, *flags, "--jobs", "2"])
+        parallel = [json.loads(line) for line in
+                    capsys.readouterr().out.strip().splitlines()]
+        assert code_serial == code_parallel == 0
+        assert [r["ideal"] for r in parallel] == [r["ideal"] for r in serial]
+        for a, b in zip(serial, parallel):
+            assert b["verdict"] == a["verdict"]
+            assert abs(b["fidelity"] - a["fidelity"]) < 1e-12
+
+    def test_jobs_isolates_raising_rows(self, manifest4, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        with open(manifest4) as handle:
+            lines = handle.read().splitlines()
+        bad.write_text("\n".join([lines[0], "nope.qasm", lines[1]]) + "\n")
+        code = main([
+            "batch", str(bad), "--noises", "1", "--epsilon", "0.05",
+            "--jobs", "2",
+        ])
+        records = [json.loads(line) for line in
+                   capsys.readouterr().out.strip().splitlines()]
+        assert code == 2
+        assert [r["verdict"] for r in records] == [
+            "EQUIVALENT", "ERROR", "EQUIVALENT",
+        ]
