@@ -18,6 +18,13 @@ workload at jobs ∈ {1, 2, 4}, with the serial-relative speedup and the
 machine's CPU count recorded (speedup is bounded by the latter — a
 single-core CI runner will honestly report ~1×).
 
+Since the caching PR a ``cache`` section records cold-vs-warm rows per
+backend: the same check against an empty cache (``cold``), a
+structurally identical new pair against the warm cache (``warm_plan``
+— plan-cache hit, contraction still runs) and an exact repeat
+(``warm_result`` — result-cache hit, nothing runs), each with its
+wall-clock time and the ``RunStats`` hit counters.
+
 Usage::
 
     python benchmarks/bench_backends.py                  # default rows
@@ -31,7 +38,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
@@ -47,7 +56,7 @@ from repro.core import (  # noqa: E402
 )
 from repro.core.miter import algorithm_network  # noqa: E402
 from repro.library import qft  # noqa: E402
-from repro.noise import insert_random_noise  # noqa: E402
+from repro.noise import depolarizing, insert_random_noise  # noqa: E402
 from repro.parallel import ProcessSliceExecutor  # noqa: E402
 from repro.tensornet import build_plan, slice_plan  # noqa: E402
 
@@ -225,6 +234,108 @@ def bench_batch_parallel(jobs_list, repeats, num_pairs=6):
     return rows
 
 
+def bench_cache(repeats):
+    """Cold-vs-warm rows per backend: plan and whole-check reuse.
+
+    Three phases per backend, all on a QFT-4 pair with two noises:
+
+    * ``cold`` — empty cache directory, everything computes;
+    * ``warm_plan`` — a structurally identical pair (same noise sites,
+      different channel parameter) against the warm cache: planning is
+      a lookup, the contraction still runs;
+    * ``warm_result`` — the exact cold pair again: the whole check is
+      one lookup.
+
+    Cold rows get a fresh directory per repeat; warm rows reuse the
+    populated one with a fresh session per repeat (the service
+    pattern).  Fidelity equality between cold and warm_result is
+    asserted — a cache that changes answers is worse than no cache.
+    """
+    ideal = qft(4)
+    noisy = insert_random_noise(ideal, 2, seed=0)
+
+    def twin(repeat):
+        # same seed => same noise sites => identical structure; the
+        # channel parameter differs (and differs per repeat, so repeats
+        # cannot hit the result entry stored by an earlier repeat) —
+        # only the plan cache can serve these
+        p = 0.99 - 0.001 * repeat
+        return insert_random_noise(
+            ideal, 2, channel_factory=lambda: depolarizing(p), seed=0
+        )
+
+    rows = []
+    for backend_name in available_backends():
+        def timed_check(cache_dir, pair):
+            session = CheckSession(CheckConfig(
+                epsilon=0.05, algorithm="alg2", backend=backend_name,
+                cache=True, cache_dir=cache_dir,
+            ))
+            start = time.perf_counter()
+            result = session.check(*pair)
+            return time.perf_counter() - start, result
+
+        cold_best = None
+        cold_result = None
+        warm_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+        try:
+            for repeat in range(repeats):
+                fresh = tempfile.mkdtemp(prefix="repro-bench-cache-")
+                try:
+                    seconds, result = timed_check(fresh, (ideal, noisy))
+                finally:
+                    shutil.rmtree(fresh, ignore_errors=True)
+                if cold_best is None or seconds < cold_best:
+                    cold_best, cold_result = seconds, result
+            phases = [("cold", cold_best, cold_result)]
+
+            timed_check(warm_dir, (ideal, noisy))  # populate
+            for phase, pair_for in (
+                ("warm_plan", lambda r: (ideal, twin(r))),
+                ("warm_result", lambda r: (ideal, noisy)),
+            ):
+                best = None
+                outcome = None
+                for repeat in range(repeats):
+                    seconds, result = timed_check(
+                        warm_dir, pair_for(repeat)
+                    )
+                    if best is None or seconds < best:
+                        best, outcome = seconds, result
+                phases.append((phase, best, outcome))
+        finally:
+            shutil.rmtree(warm_dir, ignore_errors=True)
+
+        for phase, seconds, result in phases:
+            rows.append({
+                "workload": "qft4-2noise-alg2",
+                "backend": backend_name,
+                "phase": phase,
+                "check_seconds": seconds,
+                "plan_cache_hit": result.stats.plan_cache_hit,
+                "result_cache_hit": result.stats.result_cache_hit,
+                "fidelity": result.fidelity,
+            })
+            print(
+                f"cache {phase:11s} {backend_name:8s} "
+                f"check {seconds:8.4f}s  "
+                f"plan_hits {result.stats.plan_cache_hit}  "
+                f"result_hits {result.stats.result_cache_hit}"
+            )
+        by_phase = {row["phase"]: row for row in rows
+                    if row["backend"] == backend_name}
+        if abs(by_phase["warm_result"]["fidelity"]
+               - by_phase["cold"]["fidelity"]) > 0.0:
+            raise AssertionError(
+                f"{backend_name}: warm result diverged from cold"
+            )
+        if by_phase["warm_result"]["result_cache_hit"] != 1:
+            raise AssertionError(f"{backend_name}: warm rerun missed")
+        if by_phase["warm_plan"]["plan_cache_hit"] < 1:
+            raise AssertionError(f"{backend_name}: twin pair replanned")
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rows", nargs="*", default=DEFAULT_ROWS)
@@ -269,6 +380,8 @@ def main(argv=None) -> int:
         "sliced": bench_sliced_parallel(args.jobs, args.repeats),
         "batch": bench_batch_parallel(args.jobs, args.repeats),
     }
+
+    report["cache"] = bench_cache(args.repeats)
 
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)

@@ -40,6 +40,7 @@ from .backends import (
     get_backend,
     register_backend,
 )
+from .cache import CheckCache
 from .baseline import (
     MemoryLimitExceeded,
     Operator,
@@ -89,6 +90,7 @@ from .tdd import Tdd, TddManager
 __version__ = "0.1.0"
 
 __all__ = [
+    "CheckCache",
     "CheckConfig",
     "CheckError",
     "CheckResult",

@@ -23,6 +23,7 @@ terms.
 from __future__ import annotations
 
 import abc
+import os
 import warnings
 from typing import (
     TYPE_CHECKING,
@@ -36,12 +37,32 @@ from typing import (
     Union,
 )
 
+from ..cache import PlanCache, open_cache
 from ..tensornet import ContractionStats, TensorNetwork
 from ..tensornet.ordering import ORDER_HEURISTICS
 from ..tensornet.planner import PLANNERS, ContractionPlan, build_plan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..parallel.executors import SliceExecutor
+
+
+def _coerce_plan_cache(
+    plan_cache: Union[None, PlanCache, str, os.PathLike]
+) -> Optional[PlanCache]:
+    """Accept a ready :class:`PlanCache` or a disk-cache directory.
+
+    The directory form is what travels inside :meth:`describe` specs to
+    worker processes: each worker re-opens the standard two-tier cache
+    against the shared directory.
+    """
+    if plan_cache is None or isinstance(plan_cache, PlanCache):
+        return plan_cache
+    if isinstance(plan_cache, (str, os.PathLike)):
+        return open_cache(plan_cache).plans
+    raise TypeError(
+        "plan_cache must be a PlanCache, a cache directory path or None, "
+        f"got {type(plan_cache)!r}"
+    )
 
 
 class ContractionBackend(abc.ABC):
@@ -71,6 +92,15 @@ class ContractionBackend(abc.ABC):
         Optional :class:`~repro.parallel.SliceExecutor` the backend
         delegates sliced plans to — the slice-level parallelism hook.
         ``None`` (the default) runs the slice-summation loop inline.
+    plan_cache:
+        Optional shared :class:`~repro.cache.PlanCache` (or a cache
+        directory path, which opens the standard two-tier cache there)
+        consulted by :meth:`plan_for` before planning and fed after.
+        ``None`` (the default) keeps planning per-instance, exactly as
+        before the caching subsystem.  The ``plan_cache_hits`` /
+        ``plan_cache_misses`` instance counters track how often
+        :meth:`plan_for` was served without running a planner; they
+        only move while a cache is attached.
     """
 
     #: Registry name of the backend; concrete subclasses must override.
@@ -83,6 +113,7 @@ class ContractionBackend(abc.ABC):
         planner: str = "order",
         max_intermediate_size: Optional[int] = None,
         executor: Optional["SliceExecutor"] = None,
+        plan_cache: Union[None, PlanCache, str, os.PathLike] = None,
     ):
         if order_method not in ORDER_HEURISTICS:
             raise ValueError(
@@ -101,6 +132,14 @@ class ContractionBackend(abc.ABC):
         self.planner = planner
         self.max_intermediate_size = max_intermediate_size
         self.executor = executor
+        self.plan_cache = _coerce_plan_cache(plan_cache)
+        #: plan_for calls served without running a planner (any tier:
+        #: the instance's structural map, the shared memory LRU, disk).
+        #: Only counted while a plan cache is attached, so uncached
+        #: runs keep today's all-zero stats.
+        self.plan_cache_hits = 0
+        #: plan_for calls that had to run a planner despite the cache.
+        self.plan_cache_misses = 0
         self._plan_cache: Dict[tuple, ContractionPlan] = {}
 
     @abc.abstractmethod
@@ -151,20 +190,49 @@ class ContractionBackend(abc.ABC):
         networks; the (possibly expensive) planning pass — ordering
         heuristic, pairwise simulation, slicing — runs once per
         structure+shape and the resulting plan is replayed.
+
+        With a :attr:`plan_cache` attached the lookup additionally
+        consults the shared content-addressed cache, so the planning
+        pass runs once per structure *per fleet* rather than per
+        backend instance, and feeds fresh plans back for every other
+        process to reuse.
         """
         key = (
             network.structure_key(),
             tuple(t.data.shape for t in network.tensors),
         )
         plan = self._plan_cache.get(key)
-        if plan is None:
-            plan = build_plan(
+        if plan is not None:
+            if self.plan_cache is not None:
+                self.plan_cache_hits += 1
+            return plan
+        if self.plan_cache is not None:
+            plan = self.plan_cache.get(
                 network,
                 planner=self.planner,
                 order_method=self.order_method,
                 max_intermediate_size=self.max_intermediate_size,
             )
-            self._plan_cache[key] = plan
+            if plan is not None:
+                self.plan_cache_hits += 1
+                self._plan_cache[key] = plan
+                return plan
+        plan = build_plan(
+            network,
+            planner=self.planner,
+            order_method=self.order_method,
+            max_intermediate_size=self.max_intermediate_size,
+        )
+        self._plan_cache[key] = plan
+        if self.plan_cache is not None:
+            self.plan_cache_misses += 1
+            self.plan_cache.put(
+                network,
+                plan,
+                planner=self.planner,
+                order_method=self.order_method,
+                max_intermediate_size=self.max_intermediate_size,
+            )
         return plan
 
     def order_for(self, network: TensorNetwork) -> List[str]:
@@ -245,14 +313,21 @@ class ContractionBackend(abc.ABC):
 
         Deliberately excludes ``executor``: the spec doubles as the
         picklable recipe worker processes rebuild backends from, and a
-        worker-side backend must run its slices inline.
+        worker-side backend must run its slices inline.  The plan cache
+        travels as its *directory* (``None`` for uncached or
+        memory-only backends), so every worker re-opens the shared disk
+        tier and the pool warms itself.
         """
+        plan_cache = (
+            None if self.plan_cache is None else self.plan_cache.directory
+        )
         return {
             "name": self.name,
             "order_method": self.order_method,
             "share_intermediates": self.share_intermediates,
             "planner": self.planner,
             "max_intermediate_size": self.max_intermediate_size,
+            "plan_cache": plan_cache,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -263,8 +338,9 @@ class ContractionBackend(abc.ABC):
 
 
 #: Factories must accept the protocol keywords ``order_method``,
-#: ``share_intermediates``, ``planner``, ``max_intermediate_size`` and
-#: ``executor`` (extra keywords are backend-specific).
+#: ``share_intermediates``, ``planner``, ``max_intermediate_size``,
+#: ``executor`` and ``plan_cache`` (extra keywords are
+#: backend-specific).
 BackendFactory = Callable[..., ContractionBackend]
 
 _REGISTRY: Dict[str, BackendFactory] = {}

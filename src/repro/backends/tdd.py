@@ -41,10 +41,11 @@ class TddBackend(ContractionBackend):
         planner: str = "order",
         max_intermediate_size: Optional[int] = None,
         executor=None,
+        plan_cache=None,
     ):
         super().__init__(
             order_method, share_intermediates, planner,
-            max_intermediate_size, executor,
+            max_intermediate_size, executor, plan_cache,
         )
         self._manager: Optional[TddManager] = None
         #: id(tensor) -> (tensor, Tdd); entries survive only for tensors

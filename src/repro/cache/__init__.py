@@ -1,0 +1,129 @@
+"""Content-addressed caching & persistence: fingerprint once, never
+replan, never recheck.
+
+The subsystem has three layers:
+
+* :mod:`repro.cache.fingerprint` — canonical, version-salted SHA-256
+  fingerprints of circuits (instruction stream, qubit maps, gate
+  matrices, Kraus data), tensor-network structures (labels + shapes)
+  and check configurations;
+* :mod:`repro.cache.store` — the :class:`CacheStore` byte-store
+  protocol with an in-memory LRU tier (:class:`MemoryStore`), a
+  persistent tier (:class:`DiskStore`, under ``$REPRO_CACHE_DIR`` or
+  ``~/.cache/repro``, atomic writes, corruption-tolerant reads) and the
+  promoting :class:`TieredStore` chain;
+* :mod:`repro.cache.plans` / :mod:`repro.cache.results` — typed
+  adapters caching :class:`~repro.tensornet.planner.ContractionPlan`
+  and :class:`~repro.core.stats.CheckResult` objects.
+
+:class:`CheckCache` bundles one store with both adapters — the object a
+:class:`~repro.core.session.CheckSession` opens when its config says
+``cache=True``, and that worker processes re-open against the same
+directory so a pool warms itself.
+
+Failure philosophy: the cache can only ever cause a recompute, never a
+crash and never a wrong answer — damaged entries read as misses and
+self-heal, failed writes are swallowed, and keys are derived from
+semantic content plus a version salt so stale layouts are simply never
+found.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .fingerprint import (
+    CACHE_VERSION,
+    circuit_fingerprint,
+    config_fingerprint,
+    plan_key,
+    result_key,
+    structure_fingerprint,
+)
+from .plans import PlanCache
+from .results import ResultCache
+from .store import (
+    CACHE_DIR_ENV,
+    CacheStats,
+    CacheStore,
+    DEFAULT_MEMORY_ENTRIES,
+    DiskStore,
+    MemoryStore,
+    TieredStore,
+    count_by_kind,
+    default_cache_dir,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_VERSION",
+    "CacheStats",
+    "CacheStore",
+    "CheckCache",
+    "DiskStore",
+    "MemoryStore",
+    "PlanCache",
+    "ResultCache",
+    "TieredStore",
+    "circuit_fingerprint",
+    "config_fingerprint",
+    "count_by_kind",
+    "default_cache_dir",
+    "open_cache",
+    "plan_key",
+    "result_key",
+    "structure_fingerprint",
+]
+
+
+class CheckCache:
+    """One store, both adapters: the session-facing cache facade."""
+
+    def __init__(self, store: CacheStore):
+        self.store = store
+        self.plans = PlanCache(store)
+        self.results = ResultCache(store)
+
+    @classmethod
+    def open(
+        cls,
+        cache_dir: Optional[os.PathLike] = None,
+        memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+    ) -> "CheckCache":
+        """The standard two-tier cache: LRU memory in front of disk.
+
+        ``cache_dir`` defaults to ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro`` (resolved at open time).
+        """
+        return cls(
+            TieredStore([
+                MemoryStore(max_entries=memory_entries),
+                DiskStore(cache_dir),
+            ])
+        )
+
+    @property
+    def directory(self) -> Optional[str]:
+        """The persistent tier's directory, if any."""
+        return self.store.directory
+
+    def stats(self) -> CacheStats:
+        """Sizes and lookup counters of the underlying store."""
+        return self.store.stats()
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+        return self.store.clear()
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict oldest entries down to ``max_bytes``; returns removals."""
+        return self.store.prune(max_bytes)
+
+
+def open_cache(
+    cache_dir: Optional[os.PathLike] = None,
+    memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+) -> CheckCache:
+    """Module-level alias of :meth:`CheckCache.open`."""
+    return CheckCache.open(cache_dir, memory_entries=memory_entries)

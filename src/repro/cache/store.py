@@ -1,0 +1,450 @@
+"""Cache stores: the :class:`CacheStore` protocol and its three tiers.
+
+A store maps content-addressed string keys to opaque byte payloads.
+Three implementations:
+
+* :class:`MemoryStore` — in-process LRU, the hot tier;
+* :class:`DiskStore` — one file per entry under a cache directory
+  (``REPRO_CACHE_DIR`` or ``~/.cache/repro``), atomic writes,
+  integrity-checked corruption-tolerant reads, ``prune``/``clear``;
+* :class:`TieredStore` — a chain (memory in front of disk) where hits
+  in a later tier are promoted into the earlier ones.
+
+Stores are deliberately *lossy* on the failure side: a read that hits a
+truncated, corrupt or vanished entry returns ``None`` (and drops the
+bad entry when it can), and a write that fails — read-only filesystem,
+disk full, permission denied — is swallowed.  A cache must never be
+able to crash the checker; the worst it can do is recompute.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import os
+import tempfile
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Environment variable overriding the default disk-cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default in-memory tier capacity (entries).
+DEFAULT_MEMORY_ENTRIES = 1024
+
+#: Magic prefix of every on-disk entry; bump with the layout.
+_MAGIC = b"RPRC1\n"
+
+#: Suffix of on-disk entry files.
+_SUFFIX = ".blob"
+
+#: prune() reaps orphaned writer temp files older than this; the age
+#: guard keeps live in-flight writes out of the reaper's way.
+_TEMP_REAP_AGE_SECONDS = 3600.0
+
+
+def default_cache_dir() -> Path:
+    """The disk tier's directory: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+
+    Read at call time, so tests and deployments can repoint the cache
+    through the environment without touching configuration objects.
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def encode_entry(payload: bytes) -> bytes:
+    """Frame a payload with magic + length + digest for integrity checks."""
+    digest = hashlib.sha256(payload).digest()
+    header = _MAGIC + len(payload).to_bytes(8, "big") + digest
+    return header + payload
+
+
+def decode_entry(raw: bytes) -> Optional[bytes]:
+    """Recover a payload framed by :func:`encode_entry`.
+
+    Returns ``None`` — never raises — on any damage: wrong magic,
+    truncation, trailing garbage or digest mismatch.
+    """
+    header_len = len(_MAGIC) + 8 + 32
+    if len(raw) < header_len or not raw.startswith(_MAGIC):
+        return None
+    length = int.from_bytes(raw[len(_MAGIC):len(_MAGIC) + 8], "big")
+    digest = raw[len(_MAGIC) + 8:header_len]
+    payload = raw[header_len:]
+    if len(payload) != length:
+        return None
+    if hashlib.sha256(payload).digest() != digest:
+        return None
+    return payload
+
+
+@dataclass
+class CacheStats:
+    """Counters and sizes of one store (or one tier of a chain)."""
+
+    store: str = ""
+    entries: int = 0
+    total_bytes: int = 0
+    #: in-process lookup counters (reset with the store object's life)
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: location of a persistent store (None for in-memory tiers)
+    directory: Optional[str] = None
+    #: per-tier breakdown when the store is tiered
+    tiers: List["CacheStats"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe)."""
+        out = {
+            "store": self.store,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "directory": self.directory,
+        }
+        if self.tiers:
+            out["tiers"] = [tier.to_dict() for tier in self.tiers]
+        return out
+
+
+class CacheStore(abc.ABC):
+    """Byte-payload store addressed by content-derived string keys."""
+
+    @abc.abstractmethod
+    def get(self, key: str) -> Optional[bytes]:
+        """The payload stored under ``key``, or ``None`` (never raises)."""
+
+    @abc.abstractmethod
+    def put(self, key: str, payload: bytes) -> None:
+        """Store ``payload`` under ``key`` (best-effort; never raises)."""
+
+    @abc.abstractmethod
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+
+    @abc.abstractmethod
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-used entries until the store holds at
+        most ``max_bytes`` of payload; returns the number evicted."""
+
+    @abc.abstractmethod
+    def stats(self) -> CacheStats:
+        """Current sizes plus this object's lookup counters."""
+
+    @property
+    def directory(self) -> Optional[str]:
+        """Filesystem location for persistent stores, else ``None``."""
+        return None
+
+
+class MemoryStore(CacheStore):
+    """In-process LRU byte store — the hot tier.
+
+    ``get`` marks an entry most-recently-used; ``put`` evicts from the
+    least-recently-used end once ``max_entries`` (and, when set,
+    ``max_bytes``) would be exceeded.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MEMORY_ENTRIES,
+        max_bytes: Optional[int] = None,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> Optional[bytes]:
+        payload = self._entries.get(key)
+        if payload is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        self._evict()
+
+    def _evict(self) -> None:
+        while len(self._entries) > self.max_entries or (
+            self.max_bytes is not None
+            and len(self._entries) > 1
+            and sum(map(len, self._entries.values())) > self.max_bytes
+        ):
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> int:
+        count = len(self._entries)
+        self._entries.clear()
+        return count
+
+    def prune(self, max_bytes: int) -> int:
+        removed = 0
+        while self._entries and (
+            sum(map(len, self._entries.values())) > max_bytes
+        ):
+            self._entries.popitem(last=False)
+            removed += 1
+        self._evictions += removed
+        return removed
+
+    def keys(self) -> List[str]:
+        """Keys in LRU→MRU order (oldest first)."""
+        return list(self._entries)
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            store="memory",
+            entries=len(self._entries),
+            total_bytes=sum(map(len, self._entries.values())),
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+        )
+
+
+class DiskStore(CacheStore):
+    """One-file-per-entry persistent store — the shared tier.
+
+    Layout: ``<dir>/<last two key chars>/<key>.blob``, each file framed
+    by :func:`encode_entry`.  Writes go through a temporary file in the
+    destination directory followed by :func:`os.replace`, so concurrent
+    writers of the same key — worker processes warming a shared pool
+    cache — can interleave freely and readers only ever observe a
+    complete entry (the POSIX rename guarantee).  Reads verify the
+    frame digest and silently discard damaged files.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        self._directory = Path(directory) if directory else default_cache_dir()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def directory(self) -> str:
+        return str(self._directory)
+
+    def _path(self, key: str) -> Path:
+        return self._directory / key[-2:] / f"{key}{_SUFFIX}"
+
+    def get(self, key: str) -> Optional[bytes]:
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self._misses += 1
+            return None
+        payload = decode_entry(raw)
+        if payload is None:
+            # Damaged entry: self-heal by dropping it so the slot is
+            # rewritten on the next put instead of failing forever.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self._misses += 1
+            return None
+        try:  # LRU signal for prune(); best-effort
+            os.utime(path)
+        except OSError:
+            pass
+        self._hits += 1
+        return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=".tmp-", dir=str(path.parent)
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(encode_entry(payload))
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # Read-only filesystem, disk full, permissions: a cache
+            # write failure must never surface to the checker.
+            pass
+
+    def _iter_entries(self) -> Iterator[Tuple[Path, int, float]]:
+        """Yield ``(path, size, mtime)`` for every readable entry file."""
+        if not self._directory.is_dir():
+            return
+        for shard in sorted(self._directory.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob(f"*{_SUFFIX}")):
+                try:
+                    info = path.stat()
+                except OSError:
+                    continue
+                yield path, info.st_size, info.st_mtime
+
+    def _reap_temp_files(self, min_age_seconds: float) -> None:
+        """Remove writer temp files older than ``min_age_seconds``.
+
+        A writer killed between ``mkstemp`` and ``os.replace`` orphans
+        its ``.tmp-*`` file; without reaping, those bytes are invisible
+        to the ``*.blob`` accounting and never reclaimed.  An age guard
+        keeps live in-flight writes safe (a reaped live temp file only
+        costs that writer its swallowed ``os.replace``, never the
+        store's integrity); ``clear`` reaps unconditionally.
+        """
+        if not self._directory.is_dir():
+            return
+        cutoff = time.time() - min_age_seconds
+        for shard in self._directory.iterdir():
+            if not shard.is_dir():
+                continue
+            for path in shard.glob(".tmp-*"):
+                try:
+                    if path.stat().st_mtime <= cutoff:
+                        path.unlink()
+                except OSError:
+                    pass
+
+    def keys(self) -> List[str]:
+        """Every stored key (unordered beyond directory sort)."""
+        return [path.name[: -len(_SUFFIX)] for path, _, _ in self._iter_entries()]
+
+    def clear(self) -> int:
+        removed = 0
+        for path, _, _ in list(self._iter_entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self._reap_temp_files(0.0)
+        return removed
+
+    def prune(self, max_bytes: int) -> int:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        self._reap_temp_files(_TEMP_REAP_AGE_SECONDS)
+        entries = sorted(self._iter_entries(), key=lambda e: e[2])
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        for path, size, _ in entries:  # oldest mtime first
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return removed
+
+    def stats(self) -> CacheStats:
+        entries = list(self._iter_entries())
+        return CacheStats(
+            store="disk",
+            entries=len(entries),
+            total_bytes=sum(size for _, size, _ in entries),
+            hits=self._hits,
+            misses=self._misses,
+            directory=self.directory,
+        )
+
+
+class TieredStore(CacheStore):
+    """A chain of stores searched front to back, with promotion.
+
+    ``get`` returns the first tier's hit; a hit in a later tier is
+    promoted (re-``put``) into every earlier tier, so the memory tier
+    warms itself from disk.  ``put`` writes through to every tier.
+    """
+
+    def __init__(self, tiers: List[CacheStore]):
+        if not tiers:
+            raise ValueError("a tiered store needs at least one tier")
+        self.tiers = list(tiers)
+
+    def get(self, key: str) -> Optional[bytes]:
+        for position, tier in enumerate(self.tiers):
+            payload = tier.get(key)
+            if payload is not None:
+                for earlier in self.tiers[:position]:
+                    earlier.put(key, payload)
+                return payload
+        return None
+
+    def put(self, key: str, payload: bytes) -> None:
+        for tier in self.tiers:
+            tier.put(key, payload)
+
+    def clear(self) -> int:
+        # An entry usually lives in several tiers at once; the logical
+        # removal count is the largest per-tier count, not their sum.
+        return max(tier.clear() for tier in self.tiers)
+
+    def prune(self, max_bytes: int) -> int:
+        return max(tier.prune(max_bytes) for tier in self.tiers)
+
+    def stats(self) -> CacheStats:
+        per_tier = [tier.stats() for tier in self.tiers]
+        # Persistent reality lives in the last tier; the chain's lookup
+        # traffic is the front tier's plus fall-through to later ones.
+        return CacheStats(
+            store="tiered",
+            entries=per_tier[-1].entries,
+            total_bytes=per_tier[-1].total_bytes,
+            hits=sum(tier.hits for tier in per_tier),
+            misses=per_tier[-1].misses,
+            evictions=sum(tier.evictions for tier in per_tier),
+            directory=self.directory,
+            tiers=per_tier,
+        )
+
+    @property
+    def directory(self) -> Optional[str]:
+        for tier in self.tiers:
+            if tier.directory is not None:
+                return tier.directory
+        return None
+
+
+#: Registry of key-name prefixes to human labels (``cache stats``).
+KEY_KINDS: Dict[str, str] = {"plan-": "plans", "result-": "results"}
+
+
+def count_by_kind(keys: List[str]) -> Dict[str, int]:
+    """Histogram of keys by :data:`KEY_KINDS` prefix (CLI reporting)."""
+    counts = {label: 0 for label in KEY_KINDS.values()}
+    counts["other"] = 0
+    for key in keys:
+        for prefix, label in KEY_KINDS.items():
+            if key.startswith(prefix):
+                counts[label] += 1
+                break
+        else:
+            counts["other"] += 1
+    return counts

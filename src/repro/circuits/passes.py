@@ -1,9 +1,14 @@
 """Local optimisation passes from Sec. IV-C of the paper.
 
 * :func:`cancel_adjacent_gates` removes neighbouring gate pairs whose
-  product is the identity (e.g. H·H, S·S†, CX·CX).  In approximate
-  equivalence checking the miter ``U† E`` shares most unitary gates between
-  the two halves, so this fires a lot.
+  product is the identity (e.g. H·H, S·S†, CX·CX) and merges adjacent
+  same-axis rotations (``rz(a)·rz(b) → rz(a+b)``, likewise ``rx``/``ry``
+  and the phase gate ``p``), dropping the merged gate outright when its
+  angle lands on the identity (``≡ 0 mod 4π`` for the rotations, mod 2π
+  for ``p``).  In approximate equivalence checking the miter ``U† E``
+  shares most unitary gates between the two halves, so both rules fire a
+  lot — and a shorter miter also fingerprints, plans and contracts
+  faster.
 * :func:`eliminate_final_swaps` removes trailing SWAP gates and returns the
   output permutation they implement; when computing ``tr(...)`` the trace
   closure simply reconnects inputs to the permuted outputs instead.
@@ -11,31 +16,88 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..gates import Gate, standard
 from ..linalg import ATOL
 from .circuit import QuantumCircuit
 from .dag import CircuitDag
+
+#: Gate families that compose additively in their single angle
+#: parameter: ``g(a) · g(b) = g(a + b)``.  Keyed by the *exact* gate
+#: name — derived names ("rz_dg", "rz_conj") are excluded on purpose,
+#: since their matrices no longer match their stored parameters.
+_ROTATION_FACTORIES = {
+    "rx": standard.rx_gate,
+    "ry": standard.ry_gate,
+    "rz": standard.rz_gate,
+    "p": standard.p_gate,
+}
+
+
+def _merge_rotations(inst_i, inst_j, product, atol: float):
+    """The merged gate of two adjacent same-family rotations.
+
+    Returns ``(merged, True)`` when the combined angle is the identity
+    (drop both gates), ``(merged, False)`` when a single merged gate
+    replaces the pair, and ``(None, False)`` when the pair is not a
+    mergeable rotation pair at all.
+
+    ``product`` is the pair's actual matrix product: the merged gate is
+    only accepted when its matrix reproduces it, so a custom
+    :class:`Gate` that *names* itself ``rz`` but carries a different
+    convention (or width) can never be rewritten to something it is
+    not — in an equivalence checker, an optimisation that trusts
+    labels over matrices could flip verdicts.
+    """
+    factory = _ROTATION_FACTORIES.get(inst_i.name)
+    if (
+        factory is None
+        or inst_j.name != inst_i.name
+        or len(inst_i.operation.params) != 1
+        or len(inst_j.operation.params) != 1
+    ):
+        return None, False
+    merged = factory(inst_i.operation.params[0] + inst_j.operation.params[0])
+    if merged.matrix.shape != product.shape or not np.allclose(
+        merged.matrix, product, atol=atol
+    ):
+        return None, False
+    return merged, merged.is_identity(atol=atol)
 
 
 def cancel_adjacent_gates(
     circuit: QuantumCircuit, atol: float = ATOL, max_rounds: int = 10_000
 ) -> QuantumCircuit:
-    """Iteratively remove adjacent mutually-inverse unitary gate pairs.
+    """Iteratively cancel inverse pairs and merge adjacent rotations.
 
-    Only pairs acting on *identical* qubit tuples with no interposing
-    operation on any shared wire are candidates, so the transformation is
-    exactly functionality-preserving (noise channels are never touched and
-    act as barriers).
+    Two rewrite rules per round, applied to pairs acting on *identical*
+    qubit tuples with no interposing operation on any shared wire:
+
+    * **cancellation** — adjacent unitaries whose product is the
+      identity are both removed;
+    * **rotation merging** — adjacent ``rx``/``ry``/``rz``/``p`` gates
+      on the same wire fuse into one gate carrying the summed angle
+      (dropped entirely when the sum is the identity — ``0 mod 4π``
+      for the rotations, whose period is 4π, and ``0 mod 2π`` for
+      ``p``), so chains like ``rz(a)·rz(b)·rz(c)`` collapse over
+      successive rounds.
+
+    Both rules are exactly functionality-preserving (no global-phase
+    slack; noise channels are never touched and act as barriers).
     """
     current = circuit
     for _ in range(max_rounds):
         dag = CircuitDag(current)
         to_remove: set = set()
+        replacements: Dict[int, Gate] = {}
         for i, j in dag.adjacent_pairs():
-            if i in to_remove or j in to_remove:
+            if (
+                i in to_remove or j in to_remove
+                or i in replacements or j in replacements
+            ):
                 continue
             inst_i, inst_j = current[i], current[j]
             if not (inst_i.is_unitary and inst_j.is_unitary):
@@ -43,12 +105,22 @@ def cancel_adjacent_gates(
             product = inst_j.operation.matrix @ inst_i.operation.matrix
             if np.allclose(product, np.eye(product.shape[0]), atol=atol):
                 to_remove.update((i, j))
-        if not to_remove:
+                continue
+            merged, drops = _merge_rotations(inst_i, inst_j, product, atol)
+            if merged is None:
+                continue
+            if drops:
+                to_remove.update((i, j))
+            else:
+                replacements[i] = merged
+                to_remove.add(j)
+        if not to_remove and not replacements:
             return current
         out = QuantumCircuit(current.num_qubits, current.name)
         for idx, inst in enumerate(current):
-            if idx not in to_remove:
-                out.append(inst.operation, inst.qubits)
+            if idx in to_remove:
+                continue
+            out.append(replacements.get(idx, inst.operation), inst.qubits)
         current = out
     return current
 

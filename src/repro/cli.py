@@ -24,6 +24,13 @@ Commands
     print a step/width/cost report — without contracting anything.  Use
     it to preview planner quality and slicing before committing to a
     heavy run.
+``cache``
+    Inspect and manage the content-addressed disk cache that ``check``,
+    ``batch`` and ``plan`` fill when run with ``--cache``:
+    ``cache stats`` (entries by kind, bytes, location), ``cache clear``
+    and ``cache prune --max-bytes N`` (evict oldest entries down to a
+    byte budget).  The directory is ``--cache-dir``,
+    ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``, in that order.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ import sys
 import time
 
 from .backends import available_backends
+from .cache import CheckCache, DiskStore, count_by_kind
 from .circuits import qasm
 from .core import (
     CheckConfig,
@@ -82,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "alg1", "alg2", "dense"],
     )
     _add_engine_args(check)
+    _add_cache_args(check)
     check.add_argument(
         "--json", action="store_true",
         help="emit the full result as one JSON object",
@@ -113,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "alg1", "alg2", "dense"],
     )
     _add_engine_args(batch)
+    _add_cache_args(batch)
     batch.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="run checks in N worker processes (results keep manifest "
@@ -133,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     # Plans are backend-independent (every backend executes the same
     # plan object), so `plan` takes no --backend.
     _add_engine_args(plan, include_backend=False)
+    _add_cache_args(plan)
     plan.add_argument(
         "--max-steps", type=int, default=None,
         help="truncate the per-step listing (all steps by default)",
@@ -141,6 +152,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the plan as one JSON object instead of the report",
     )
+
+    cache = sub.add_parser(
+        "cache", help="inspect and manage the content-addressed disk cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    stats = cache_sub.add_parser(
+        "stats", help="entry counts by kind, total bytes, location"
+    )
+    stats.add_argument(
+        "--json", action="store_true",
+        help="emit the stats as one JSON object",
+    )
+    clear = cache_sub.add_parser("clear", help="remove every cached entry")
+    prune = cache_sub.add_parser(
+        "prune", help="evict oldest entries down to a byte budget"
+    )
+    prune.add_argument(
+        "--max-bytes", type=int, required=True, metavar="N",
+        help="keep at most N bytes of cached payloads (oldest evicted "
+        "first)",
+    )
+    for cache_command in (stats, clear, prune):
+        cache_command.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="cache directory (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro)",
+        )
 
     return parser
 
@@ -197,6 +235,19 @@ def _add_engine_args(
     )
 
 
+def _add_cache_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="consult and fill the content-addressed plan + result "
+        "cache (--no-cache, the default, runs exactly as before)",
+    )
+    sub.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+
+
 def _noisy_from(args, base):
     """Apply the CLI noise flags to a loaded base circuit."""
     factory = lambda: CHANNELS[args.channel](args.p)  # noqa: E731
@@ -225,6 +276,8 @@ def _session_from(args) -> CheckSession:
             order_method=args.order_method,
             planner=args.planner,
             max_intermediate_size=args.max_intermediate,
+            cache=args.cache,
+            cache_dir=args.cache_dir,
         )
     )
 
@@ -269,25 +322,80 @@ def cmd_plan(args) -> int:
 
     ideal, noisy = load_noisy(args)
     network = algorithm_network(noisy, ideal, args.algorithm)
-    plan = build_plan(
-        network,
-        planner=args.planner,
-        order_method=args.order_method,
-        max_intermediate_size=args.max_intermediate,
-    )
+
+    def build():
+        return build_plan(
+            network,
+            planner=args.planner,
+            order_method=args.order_method,
+            max_intermediate_size=args.max_intermediate,
+        )
+
+    cache_state = None
+    if args.cache:
+        plan, cache_state = CheckCache.open(args.cache_dir).plans.get_or_build(
+            network,
+            build,
+            planner=args.planner,
+            order_method=args.order_method,
+            max_intermediate_size=args.max_intermediate,
+        )
+    else:
+        plan = build()
     # The greedy planner never consults the order heuristic.
     order_method = args.order_method if args.planner == "order" else None
     if args.json:
         record = plan.to_dict()
         record["algorithm"] = args.algorithm
         record["order_method"] = order_method
+        record["plan_cache"] = cache_state
         print(json.dumps(record))
         return 0
     print(f"algorithm        : {args.algorithm}")
     if order_method is not None:
         print(f"order method     : {order_method}")
+    if cache_state is not None:
+        print(f"plan cache       : {cache_state}")
     print(plan.report(max_steps=args.max_steps))
     return 0
+
+
+def cmd_cache(args) -> int:
+    store = DiskStore(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        kinds = count_by_kind(store.keys())
+        if args.json:
+            record = stats.to_dict()
+            record["kinds"] = kinds
+            print(json.dumps(record))
+            return 0
+        print(f"directory : {stats.directory}")
+        print(
+            f"entries   : {stats.entries} "
+            f"({kinds['plans']} plans, {kinds['results']} results"
+            + (f", {kinds['other']} other" if kinds["other"] else "")
+            + ")"
+        )
+        print(f"bytes     : {stats.total_bytes}")
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.directory}")
+        return 0
+    if args.cache_command == "prune":
+        if args.max_bytes < 0:
+            print("--max-bytes must be non-negative", file=sys.stderr)
+            return 2
+        removed = store.prune(args.max_bytes)
+        remaining = store.stats()
+        print(
+            f"pruned {removed} entries from {store.directory}; "
+            f"{remaining.entries} entries / {remaining.total_bytes} bytes "
+            "remain"
+        )
+        return 0
+    raise AssertionError("unreachable")
 
 
 def iter_manifest(path):
@@ -403,12 +511,18 @@ def cmd_batch(args) -> int:
 
     wall = time.perf_counter() - start
     merged = RunStats.merge(run_stats, wall_seconds=wall)
+    cache_note = ""
+    if args.cache:
+        cache_note = (
+            f", plan hits {merged.plan_cache_hit}, "
+            f"result hits {merged.result_cache_hit}"
+        )
     print(
         f"batch: {len(rows)} rows, {totals['checked']} checked, "
         f"{totals['equivalent']} equivalent, "
         f"{totals['checked'] - totals['equivalent']} not equivalent, "
         f"{totals['errors']} errors; wall {merged.time_seconds:.3f}s, "
-        f"cpu {merged.cpu_seconds:.3f}s, jobs={args.jobs}",
+        f"cpu {merged.cpu_seconds:.3f}s, jobs={args.jobs}{cache_note}",
         file=sys.stderr,
     )
     if totals["errors"]:
@@ -426,6 +540,8 @@ def main(argv=None) -> int:
         return cmd_batch(args)
     if args.command == "plan":
         return cmd_plan(args)
+    if args.command == "cache":
+        return cmd_cache(args)
     raise AssertionError("unreachable")
 
 

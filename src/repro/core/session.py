@@ -18,10 +18,12 @@ Quick start
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Tuple, Union
 
 from ..backends import ContractionBackend, available_backends, resolve_backend
+from ..cache import CheckCache
 from ..circuits import QuantumCircuit
 from ..tensornet.ordering import ORDER_HEURISTICS
 from ..tensornet.planner import PLANNERS
@@ -72,6 +74,12 @@ class CheckConfig:
     share_computed_table: bool = True
     #: enumerate Kraus selections largest-norm-first (Algorithm I)
     dominant_first: bool = True
+    #: consult the content-addressed plan + result caches (two-tier:
+    #: in-memory LRU over a disk store shared across processes)
+    cache: bool = False
+    #: disk-tier directory (None = $REPRO_CACHE_DIR or ~/.cache/repro);
+    #: only consulted when ``cache`` is on
+    cache_dir: Optional[str] = None
 
     def __post_init__(self):
         if not 0.0 <= self.epsilon <= 1.0:
@@ -126,6 +134,12 @@ class CheckConfig:
                     )
         if self.alg1_max_noises < 0:
             raise ValueError("alg1_max_noises must be non-negative")
+        if self.cache_dir is not None and not isinstance(
+            self.cache_dir, str
+        ):
+            # Keep the frozen config hashable and picklable (worker
+            # session caches key on it): paths normalise to strings.
+            object.__setattr__(self, "cache_dir", str(self.cache_dir))
 
     @property
     def backend_name(self) -> str:
@@ -176,17 +190,31 @@ class CheckSession:
             config = config.replace(**overrides)
         self.config = config
         self._backend: Optional[ContractionBackend] = None
+        #: the two-tier plan + result cache (None when config.cache off)
+        self.cache: Optional[CheckCache] = (
+            CheckCache.open(config.cache_dir) if config.cache else None
+        )
 
     @property
     def backend(self) -> ContractionBackend:
-        """The session's shared contraction backend (created on demand)."""
+        """The session's shared contraction backend (created on demand).
+
+        Name-configured backends are built with the session's plan
+        cache attached.  A ready backend *instance* is never mutated —
+        attaching the cache would leak it into every other session
+        sharing that instance, including ones that disabled caching.
+        Construct the instance with ``plan_cache=`` to plan-cache it;
+        the session's result cache applies either way.
+        """
         if self._backend is None:
+            plan_cache = None if self.cache is None else self.cache.plans
             self._backend = resolve_backend(
                 self.config.backend,
                 order_method=self.config.order_method,
                 share_intermediates=self.config.share_computed_table,
                 planner=self.config.planner,
                 max_intermediate_size=self.config.max_intermediate_size,
+                plan_cache=plan_cache,
             )
         return self._backend
 
@@ -205,16 +233,54 @@ class CheckSession:
 
     # --- checking -------------------------------------------------------------
 
+    def _result_cacheable(self) -> bool:
+        """Whether whole verdicts may be cached under this config.
+
+        Wall-clock-budgeted Algorithm I runs truncate at a
+        machine-load-dependent point, so their fidelity is not a pure
+        function of the inputs — caching one would freeze an arbitrary
+        lower bound.  Everything else (early termination, term caps)
+        is deterministic.
+        """
+        return self.config.alg1_time_budget_seconds is None
+
     def check(
         self, ideal: QuantumCircuit, noisy: QuantumCircuit
     ) -> CheckResult:
-        """Decide ``ideal ~eps noisy`` under this session's config."""
+        """Decide ``ideal ~eps noisy`` under this session's config.
+
+        With caching enabled (``config.cache``) the verdict is first
+        looked up in the result cache by the circuits' content
+        fingerprints; a hit returns the stored result — zero planning,
+        zero contraction — re-stamped with the lookup time and
+        ``stats.result_cache_hit = 1``.  Misses compute as usual, record
+        the run's plan-cache hits in ``stats.plan_cache_hit``, and feed
+        the cache for every later process.
+        """
         cfg = self.config
         if ideal.num_qubits != noisy.num_qubits:
             raise ValueError("circuits must have the same number of qubits")
         if not ideal.is_unitary_circuit:
             raise ValueError("the ideal circuit must be noiseless (unitary)")
         algorithm = self.select_algorithm(noisy)
+        key = None
+        if self.cache is not None and self._result_cacheable():
+            lookup_start = time.perf_counter()
+            key = self.cache.results.key_for(ideal, noisy, cfg)
+            cached = self.cache.results.get(key)
+            if cached is not None:
+                # A fresh object per hit (pickle round-trip inside the
+                # adapter), so re-stamping cannot corrupt the store.
+                cached.stats.time_seconds = (
+                    time.perf_counter() - lookup_start
+                )
+                cached.stats.term_times = []
+                cached.stats.plan_cache_hit = 0
+                cached.stats.result_cache_hit = 1
+                return cached
+        plan_hits_before = (
+            self.backend.plan_cache_hits if self.cache is not None else 0
+        )
         result = self._fidelity_result(ideal, noisy, algorithm, cfg.epsilon)
         equivalent = result.fidelity > 1.0 - cfg.epsilon
         note = None
@@ -223,7 +289,7 @@ class CheckSession:
                 "fidelity is a truncated lower bound; rerun without early "
                 "termination or term caps for a definitive negative answer"
             )
-        return CheckResult(
+        outcome = CheckResult(
             equivalent=equivalent,
             epsilon=cfg.epsilon,
             fidelity=result.fidelity,
@@ -233,6 +299,13 @@ class CheckSession:
             backend=result.stats.backend,
             note=note,
         )
+        if self.cache is not None:
+            outcome.stats.plan_cache_hit = (
+                self.backend.plan_cache_hits - plan_hits_before
+            )
+            if key is not None and not outcome.stats.timed_out:
+                self.cache.results.put(key, outcome)
+        return outcome
 
     def check_many(
         self,
@@ -256,6 +329,13 @@ class CheckSession:
         item's index and the exception) instead of aborting the batch;
         without it the first failure propagates, in serial and parallel
         runs alike.
+
+        With caching enabled, byte-identical rows dedup to one real
+        check: the first occurrence computes and stores, the rest are
+        result-cache hits (serial runs guarantee this; parallel runs
+        dedup best-effort, since identical rows may be in flight on
+        two workers at once — both compute, both store the same
+        verdict).  Workers share the disk tier, so a pool warms itself.
         """
         if jobs < 1:
             raise ValueError("jobs must be at least 1")

@@ -38,6 +38,12 @@ class RunStats:
     predicted_peak_size: int = 0
     #: index-fixed subplan executions per contraction (1 = unsliced)
     slice_count: int = 0
+    #: plan_for calls served from the plan cache without planning
+    #: (0 whenever caching is disabled)
+    plan_cache_hit: int = 0
+    #: whole checks served from the result cache without contracting
+    #: (0 or 1 per run; sums across a merged batch)
+    result_cache_hit: int = 0
     #: number of Kraus selections actually contracted (Alg I)
     terms_computed: int = 0
     #: total number of Kraus selections (prod of per-site counts)
@@ -74,7 +80,9 @@ class RunStats:
 
         Peaks (``max_nodes``, ``max_intermediate_size``,
         ``predicted_peak_size``, ``slice_count``) take the maximum,
-        counters (``predicted_cost``, ``terms_*``) sum, flags OR, and
+        counters (``predicted_cost``, ``terms_*``, the
+        ``plan_cache_hit``/``result_cache_hit`` cache counters) sum,
+        flags OR, and
         ``algorithm``/``backend`` keep a common value or become
         ``"mixed"``.  Per-term timings are not concatenated (they are a
         per-run diagnostic, meaningless across runs).
@@ -101,6 +109,10 @@ class RunStats:
                 run.predicted_peak_size for run in runs
             )
             merged.slice_count = max(run.slice_count for run in runs)
+            merged.plan_cache_hit = sum(run.plan_cache_hit for run in runs)
+            merged.result_cache_hit = sum(
+                run.result_cache_hit for run in runs
+            )
             merged.terms_computed = sum(run.terms_computed for run in runs)
             merged.terms_total = sum(run.terms_total for run in runs)
             merged.early_stopped = any(run.early_stopped for run in runs)

@@ -14,6 +14,14 @@ Workers keep module-global caches (one backend instance per spec, one
 lifetime, so consecutive chunks dispatched to the same worker reuse warm
 state — cached contraction plans, a warm TDD manager with populated
 computed tables — exactly like a serial session would.
+
+Caching composes with both transports: a backend spec may carry a
+``plan_cache`` directory (see
+:meth:`~repro.backends.base.ContractionBackend.describe`) and a
+:class:`CheckConfig` carries its ``cache``/``cache_dir`` fields, so
+every worker re-opens the same disk tier of :mod:`repro.cache` and the
+pool warms itself — a plan or verdict computed by one worker is a hash
+lookup for all the others.
 """
 
 from __future__ import annotations

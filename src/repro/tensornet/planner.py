@@ -435,16 +435,18 @@ def slice_plan(
     if result.num_slices() > max_slices:
         raise ValueError(
             f"slicing to max_intermediate_size={max_intermediate_size} "
-            f"requires {result.num_slices()} subplan executions, above the "
-            f"max_slices cap of {max_slices}; loosen the bound or raise "
-            "max_slices"
+            f"requires {result.num_slices()} subplan executions over the "
+            f"{len(result.slices)} sliced indices {list(result.slices)}, "
+            f"above the max_slices cap of {max_slices}; loosen the bound "
+            "or raise max_slices"
         )
     if result.num_slices() > SLICE_WARN_THRESHOLD:
         warnings.warn(
             f"slicing to max_intermediate_size={max_intermediate_size} "
-            f"requires {result.num_slices()} subplan executions; expect "
-            "runtime to scale accordingly (loosen the bound to trade "
-            "memory back for time)",
+            f"requires {result.num_slices()} subplan executions over the "
+            f"{len(result.slices)} sliced indices {list(result.slices)}; "
+            "expect runtime to scale accordingly (loosen the bound to "
+            "trade memory back for time)",
             RuntimeWarning,
             stacklevel=2,
         )

@@ -59,6 +59,110 @@ class TestCancelAdjacentGates:
         assert len(cancel_adjacent_gates(circuit)) == 2
 
 
+class TestRotationMerging:
+    @pytest.mark.parametrize("gate", ["rx", "ry", "rz", "p"])
+    def test_adjacent_rotations_merge_to_summed_angle(self, gate):
+        circuit = QuantumCircuit(1)
+        getattr(circuit, gate)(0.3, 0)
+        getattr(circuit, gate)(0.4, 0)
+        merged = cancel_adjacent_gates(circuit)
+        assert len(merged) == 1
+        assert merged[0].name == gate
+        assert merged[0].operation.params == pytest.approx((0.7,))
+        assert np.allclose(merged.to_matrix(), circuit.to_matrix())
+
+    @pytest.mark.parametrize("gate", ["rx", "ry", "rz"])
+    def test_merged_angle_zero_mod_4pi_drops_both(self, gate):
+        circuit = QuantumCircuit(1)
+        getattr(circuit, gate)(np.pi, 0)
+        getattr(circuit, gate)(3 * np.pi, 0)  # sum 4π ≡ identity
+        assert len(cancel_adjacent_gates(circuit)) == 0
+
+    @pytest.mark.parametrize("gate", ["rx", "ry", "rz"])
+    def test_merged_angle_2pi_is_minus_identity_and_kept(self, gate):
+        # rotations have period 4π: a 2π sum is -I, a global phase the
+        # strict pass must preserve — one merged gate, not zero gates.
+        circuit = QuantumCircuit(1)
+        getattr(circuit, gate)(np.pi, 0)
+        getattr(circuit, gate)(np.pi, 0)
+        merged = cancel_adjacent_gates(circuit)
+        assert len(merged) == 1
+        assert np.allclose(merged.to_matrix(), circuit.to_matrix())
+
+    def test_p_gate_period_is_2pi(self):
+        circuit = QuantumCircuit(1).p(np.pi / 2, 0).p(3 * np.pi / 2, 0)
+        assert len(cancel_adjacent_gates(circuit)) == 0
+
+    def test_rotation_chain_collapses_over_rounds(self):
+        circuit = (
+            QuantumCircuit(1).rz(0.1, 0).rz(0.2, 0).rz(0.3, 0).rz(0.4, 0)
+        )
+        merged = cancel_adjacent_gates(circuit)
+        assert len(merged) == 1
+        assert merged[0].operation.params == pytest.approx((1.0,))
+
+    def test_merge_then_cancel_with_neighbour(self):
+        # rz(0.2) rz(0.3) rz(-0.5): merging enables full cancellation.
+        circuit = QuantumCircuit(1).rz(0.2, 0).rz(0.3, 0).rz(-0.5, 0)
+        assert len(cancel_adjacent_gates(circuit)) == 0
+
+    def test_different_axes_do_not_merge(self):
+        circuit = QuantumCircuit(1).rx(0.3, 0).rz(0.4, 0)
+        assert len(cancel_adjacent_gates(circuit)) == 2
+
+    def test_different_wires_do_not_merge(self):
+        circuit = QuantumCircuit(2).rz(0.3, 0).rz(0.4, 1)
+        assert len(cancel_adjacent_gates(circuit)) == 2
+
+    def test_noise_blocks_merging(self):
+        circuit = QuantumCircuit(1).rz(0.3, 0)
+        circuit.append(bit_flip(0.9), [0])
+        circuit.rz(0.4, 0)
+        assert len(cancel_adjacent_gates(circuit)) == 3
+
+    def test_interposed_gate_blocks_merging(self):
+        circuit = QuantumCircuit(1).rz(0.3, 0).h(0).rz(0.4, 0)
+        assert len(cancel_adjacent_gates(circuit)) == 3
+
+    def test_daggered_rotation_names_are_not_merged_by_params(self):
+        # rz_dg keeps params=(θ,) but its matrix is rz(-θ): merging by
+        # name+params would be wrong, so derived names are excluded —
+        # the inverse pair still cancels through the matrix-product rule.
+        from repro.gates.standard import rz_gate
+
+        circuit = QuantumCircuit(1)
+        circuit.append(rz_gate(0.3).dagger(), [0])
+        circuit.append(rz_gate(0.3).dagger(), [0])
+        merged = cancel_adjacent_gates(circuit)
+        assert len(merged) == 2  # left untouched, not fused to rz(0.6)
+        assert np.allclose(merged.to_matrix(), circuit.to_matrix())
+
+    def test_impostor_rotation_names_are_never_rewritten(self):
+        # A custom Gate may *call* itself "rz" with any matrix and any
+        # params; merging must trust the matrices, not the label.
+        from repro.gates import Gate
+
+        impostor = Gate("rz", np.diag([1.0, 1.0j]), (0.3,))  # really S
+        circuit = QuantumCircuit(1)
+        circuit.append(impostor, [0])
+        circuit.append(impostor, [0])
+        merged = cancel_adjacent_gates(circuit)
+        assert np.allclose(merged.to_matrix(), circuit.to_matrix())
+        assert len(merged) == 2  # not fused to rz(0.6)
+
+    def test_functionality_preserved_on_mixed_circuit(self):
+        circuit = (
+            QuantumCircuit(2)
+            .rz(0.2, 0).rz(0.3, 0)
+            .cx(0, 1)
+            .rx(1.0, 1).rx(-1.0, 1)
+            .ry(0.5, 0).ry(0.6, 0)
+        )
+        merged = cancel_adjacent_gates(circuit)
+        assert np.allclose(merged.to_matrix(), circuit.to_matrix())
+        assert len(merged) == 3  # rz(0.5), cx, ry(1.1)
+
+
 class TestEliminateFinalSwaps:
     def test_single_trailing_swap(self):
         circuit = QuantumCircuit(2).h(0).swap(0, 1)

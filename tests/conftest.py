@@ -9,6 +9,18 @@ from repro.circuits import QuantumCircuit
 from repro.noise import bit_flip, depolarizing, phase_flip
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the disk cache at a per-test directory.
+
+    Caching is off by default, but any test that switches it on (or
+    shells out to the CLI with ``--cache``) must never touch the real
+    ``~/.cache/repro``.  Worker processes inherit the environment, so
+    the redirection holds across process pools too.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def rng():
     """Deterministic RNG for tests."""

@@ -49,6 +49,21 @@ class TestRunStatsMerge:
         assert merged.backend == "mixed"
         assert merged.early_stopped and merged.timed_out
 
+    def test_merge_sums_cache_counters(self):
+        runs = [
+            RunStats(plan_cache_hit=3, result_cache_hit=1),
+            RunStats(plan_cache_hit=2, result_cache_hit=0),
+            RunStats(),
+        ]
+        merged = RunStats.merge(runs)
+        assert merged.plan_cache_hit == 5
+        assert merged.result_cache_hit == 1
+
+    def test_cache_counters_default_zero_and_serialise(self):
+        record = RunStats().to_dict()
+        assert record["plan_cache_hit"] == 0
+        assert record["result_cache_hit"] == 0
+
     def test_merge_of_merged_stats_keeps_cpu_totals(self):
         """Re-merging batch aggregates must not lose summed CPU time."""
         first = RunStats.merge(

@@ -244,6 +244,30 @@ class TestSliceHardCap:
         with pytest.raises(ValueError, match="max_slices"):
             build_plan(net, max_intermediate_size=4, max_slices=2)
 
+    def test_cap_error_names_the_sliced_indices(self):
+        """An actionable error tells you *which* indices blew up, not
+        just how many subplans they imply."""
+        net = qft_network()
+        plan = plan_from_order(net)
+        sliced = slice_plan(plan, 4)
+        with pytest.raises(ValueError) as excinfo:
+            slice_plan(plan, 4, max_slices=2)
+        message = str(excinfo.value)
+        assert str(sliced.num_slices()) in message
+        for label in sliced.slices:
+            assert label in message
+
+    def test_warning_names_the_sliced_indices(self):
+        net = close_trace(circuit_to_network(qft(5)))
+        with pytest.warns(RuntimeWarning) as caught:
+            sliced = slice_plan(plan_from_order(net), 1)
+        [warning] = caught.list
+        message = str(warning.message)
+        assert str(sliced.num_slices()) in message
+        assert "sliced indices" in message
+        for label in sliced.slices:
+            assert label in message
+
 
 class TestSliceApplier:
     def test_precomputed_applier_matches_legacy_helper(self):

@@ -340,3 +340,142 @@ class TestBatchJobs:
         assert [r["verdict"] for r in records] == [
             "EQUIVALENT", "ERROR", "EQUIVALENT",
         ]
+
+
+class TestCacheFlags:
+    def cache_flags(self, tmp_path):
+        return ["--cache", "--cache-dir", str(tmp_path / "cache")]
+
+    def test_check_warm_run_is_a_result_hit(self, qasm_file, tmp_path,
+                                            capsys):
+        flags = [
+            "check", qasm_file, "--noises", "1", "--epsilon", "0.05",
+            "--json", *self.cache_flags(tmp_path),
+        ]
+        main(flags)
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["stats"]["result_cache_hit"] == 0
+        main(flags)
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["stats"]["result_cache_hit"] == 1
+        assert warm["fidelity"] == cold["fidelity"]
+        assert warm["verdict"] == cold["verdict"]
+
+    def test_no_cache_writes_nothing(self, qasm_file, tmp_path, capsys):
+        main([
+            "check", qasm_file, "--noises", "1", "--epsilon", "0.05",
+            "--no-cache", "--cache-dir", str(tmp_path / "cache"), "--json",
+        ])
+        record = json.loads(capsys.readouterr().out)
+        assert record["stats"]["result_cache_hit"] == 0
+        assert not (tmp_path / "cache").exists()
+
+    def test_batch_summary_reports_hits(self, tmp_path, capsys):
+        path = tmp_path / "qft2.qasm"
+        qasm.dump(qft(2), path)
+        manifest = tmp_path / "manifest.txt"
+        manifest.write_text(f"{path}\n{path}\n")
+        flags = [
+            "batch", str(manifest), "--noises", "1", "--epsilon", "0.05",
+            *self.cache_flags(tmp_path),
+        ]
+        main(flags)
+        cold_err = capsys.readouterr().err
+        # identical rows dedup inside one run already
+        assert "result hits 1" in cold_err
+        main(flags)
+        warm_err = capsys.readouterr().err
+        assert "result hits 2" in warm_err
+
+    def test_batch_without_cache_keeps_old_summary(self, tmp_path, capsys):
+        path = tmp_path / "qft2.qasm"
+        qasm.dump(qft(2), path)
+        manifest = tmp_path / "manifest.txt"
+        manifest.write_text(f"{path}\n")
+        main(["batch", str(manifest), "--noises", "1", "--epsilon", "0.05"])
+        err = capsys.readouterr().err
+        assert "result hits" not in err and "plan hits" not in err
+
+    def test_plan_reports_hit_state(self, qasm_file, tmp_path, capsys):
+        flags = [
+            "plan", qasm_file, "--noises", "1", "--json",
+            *self.cache_flags(tmp_path),
+        ]
+        main(flags)
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["plan_cache"] == "miss"
+        main(flags)
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["plan_cache"] == "hit"
+        assert warm["steps"] == cold["steps"]
+        assert warm["total_cost"] == cold["total_cost"]
+
+    def test_plan_without_cache_omits_state(self, qasm_file, capsys):
+        main(["plan", qasm_file, "--noises", "1", "--json"])
+        record = json.loads(capsys.readouterr().out)
+        assert record["plan_cache"] is None
+
+
+class TestCacheCommand:
+    def populate(self, qasm_file, tmp_path):
+        cache_dir = tmp_path / "cache"
+        main([
+            "check", qasm_file, "--noises", "1", "--epsilon", "0.05",
+            "--cache", "--cache-dir", str(cache_dir),
+        ])
+        return cache_dir
+
+    def test_stats_counts_kinds(self, qasm_file, tmp_path, capsys):
+        cache_dir = self.populate(qasm_file, tmp_path)
+        capsys.readouterr()
+        code = main(["cache", "stats", "--cache-dir", str(cache_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert str(cache_dir) in out
+        assert "1 plans, 1 results" in out
+
+    def test_stats_json(self, qasm_file, tmp_path, capsys):
+        cache_dir = self.populate(qasm_file, tmp_path)
+        capsys.readouterr()
+        code = main([
+            "cache", "stats", "--cache-dir", str(cache_dir), "--json",
+        ])
+        record = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert record["entries"] == 2
+        assert record["kinds"] == {"plans": 1, "results": 1, "other": 0}
+        assert record["total_bytes"] > 0
+
+    def test_stats_uses_env_dir_by_default(self, qasm_file, tmp_path,
+                                           monkeypatch, capsys):
+        cache_dir = self.populate(qasm_file, tmp_path)
+        capsys.readouterr()
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        main(["cache", "stats", "--json"])
+        record = json.loads(capsys.readouterr().out)
+        assert record["entries"] == 2
+
+    def test_clear_empties_the_store(self, qasm_file, tmp_path, capsys):
+        cache_dir = self.populate(qasm_file, tmp_path)
+        capsys.readouterr()
+        code = main(["cache", "clear", "--cache-dir", str(cache_dir)])
+        assert code == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+        main(["cache", "stats", "--cache-dir", str(cache_dir), "--json"])
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_prune_respects_byte_budget(self, qasm_file, tmp_path, capsys):
+        cache_dir = self.populate(qasm_file, tmp_path)
+        capsys.readouterr()
+        code = main([
+            "cache", "prune", "--max-bytes", "0",
+            "--cache-dir", str(cache_dir),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pruned 2 entries" in out
+        assert "0 entries / 0 bytes remain" in out
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
