@@ -25,6 +25,13 @@ structurally identical new pair against the warm cache (``warm_plan``
 (``warm_result`` — result-cache hit, nothing runs), each with its
 wall-clock time and the ``RunStats`` hit counters.
 
+Since the typed-API PR an ``engine`` section records the front-door
+overhead: per-check latency of ``Engine.check(request)`` against bare
+``CheckSession.check(ideal, noisy)`` on the same warm pair, with the
+ratio.  The engine's request resolution is a handful of dict lookups,
+so the ratio should stay within a few percent of 1.0 (the acceptance
+bound is 5%).
+
 Usage::
 
     python benchmarks/bench_backends.py                  # default rows
@@ -336,6 +343,63 @@ def bench_cache(repeats):
     return rows
 
 
+def bench_engine_overhead(repeats, num_checks=50):
+    """Per-check latency of the Engine front door vs a bare session.
+
+    Both paths run the identical contraction on a warm backend; the
+    difference is pure request ceremony (config memo, circuit memo,
+    response wrap).  Requests carry live circuit objects — the
+    service-loop shape where the caller already holds them.
+    """
+    from repro import CheckRequest, CircuitSpec, Engine
+
+    ideal = qft(3)
+    noisy = insert_random_noise(ideal, 2, seed=0)
+    config = CheckConfig(epsilon=0.05, algorithm="alg2", backend="tdd")
+    session = CheckSession(config)
+    request = CheckRequest(
+        ideal=CircuitSpec.from_circuit(ideal),
+        noisy=CircuitSpec.from_circuit(noisy),
+        epsilon=0.05,
+        config={"algorithm": "alg2", "backend": "tdd"},
+    )
+    engine = Engine()
+
+    direct = session.check(ideal, noisy)        # warm both paths
+    fronted = engine.check(request)
+    if abs(direct.fidelity - fronted.fidelity) > 0.0:
+        raise AssertionError("engine and bare session disagree")
+
+    def per_check(run_one):
+        best = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(num_checks):
+                run_one()
+            seconds = (time.perf_counter() - start) / num_checks
+            if best is None or seconds < best:
+                best = seconds
+        return best
+
+    session_seconds = per_check(lambda: session.check(ideal, noisy))
+    engine_seconds = per_check(lambda: engine.check(request))
+    row = {
+        "workload": "qft3-2noise-alg2",
+        "backend": "tdd",
+        "num_checks": num_checks,
+        "session_check_seconds": session_seconds,
+        "engine_check_seconds": engine_seconds,
+        "overhead_ratio": engine_seconds / session_seconds - 1.0,
+        "fidelity": fronted.fidelity,
+    }
+    print(
+        f"engine overhead   session {session_seconds * 1e3:8.3f}ms  "
+        f"engine {engine_seconds * 1e3:8.3f}ms  "
+        f"overhead {row['overhead_ratio'] * 100:+.2f}%"
+    )
+    return row
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rows", nargs="*", default=DEFAULT_ROWS)
@@ -382,6 +446,8 @@ def main(argv=None) -> int:
     }
 
     report["cache"] = bench_cache(args.repeats)
+
+    report["engine"] = bench_engine_overhead(args.repeats)
 
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)

@@ -1,0 +1,73 @@
+"""The typed front door end to end: requests, responses, jobs, wire JSON.
+
+Walks the `repro.api` surface the way a checking service would use it:
+
+1. declarative `CheckRequest`s (library circuits + noise specs + config
+   overrides) answered by one `Engine` owning the sessions and cache;
+2. an order-preserving, error-isolating `check_iter` stream in which a
+   broken request becomes an `ERROR` response instead of an exception;
+3. submit/result job handles;
+4. the versioned wire schema: every request and response serialises to
+   JSON and parses back losslessly — which is all an HTTP layer needs.
+
+Run: ``python examples/engine_service.py``
+"""
+
+from repro import CheckRequest, CircuitSpec, Engine, NoiseSpec
+
+
+def main() -> None:
+    engine = Engine(cache=False)
+
+    # --- 1. one declarative request -------------------------------------
+    request = CheckRequest(
+        ideal=CircuitSpec.from_library("qft", num_qubits=4),
+        noise=NoiseSpec(channel="depolarizing", p=0.999, noises=2, seed=7),
+        epsilon=0.01,
+        config={"backend": "tdd"},
+    )
+    response = engine.check(request)
+    print(f"single check  : {response.verdict}  "
+          f"F_J = {response.fidelity:.6f}")
+
+    # --- 2. an error-isolating stream ------------------------------------
+    stream = [
+        request,
+        CheckRequest(ideal=CircuitSpec.from_path("does-not-exist.qasm")),
+        CheckRequest(
+            ideal=CircuitSpec.from_library("grover", num_qubits=3),
+            noise=NoiseSpec(noises=1, seed=1),
+            epsilon=0.05,
+            config={"backend": "einsum"},
+        ),
+    ]
+    print("\nstream        :")
+    for r in engine.check_iter(stream):
+        detail = (f"F_J = {r.fidelity:.6f}" if r.ok
+                  else f"error_code = {r.error_code}")
+        print(f"  [{r.index}] {r.verdict:<14} {detail}")
+
+    # --- 3. job handles ---------------------------------------------------
+    handles = [
+        engine.submit(CheckRequest(
+            ideal=CircuitSpec.from_library("qft", num_qubits=3),
+            noise=NoiseSpec(noises=1, seed=seed),
+            epsilon=0.05,
+        ))
+        for seed in range(3)
+    ]
+    verdicts = [engine.result(h).verdict for h in handles]
+    print(f"\njobs          : {verdicts}")
+
+    # --- 4. the wire schema ----------------------------------------------
+    wire = request.to_json()
+    parsed = CheckRequest.from_json(wire)
+    assert parsed == request
+    print(f"\nrequest wire  : {wire[:72]}...")
+    record = response.to_json()
+    print(f"response wire : {record[:72]}...")
+    print("round-trips   : request ✓  response ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,8 @@ Run: ``python examples/quickstart.py``
 """
 
 from repro import (
-    EquivalenceChecker,
+    CheckConfig,
+    CheckSession,
     average_fidelity_from_jamiolkowski,
     insert_random_noise,
     qft,
@@ -22,8 +23,8 @@ def main() -> None:
     print(f"ideal circuit : {ideal}")
     print(f"noisy circuit : {noisy}")
 
-    checker = EquivalenceChecker(epsilon=0.01)
-    result = checker.check(ideal, noisy)
+    session = CheckSession(CheckConfig(epsilon=0.01))
+    result = session.check(ideal, noisy)
 
     print(f"\nalgorithm     : {result.algorithm}")
     print(f"F_J           : {result.fidelity:.6f}"

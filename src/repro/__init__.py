@@ -7,21 +7,29 @@ Qiskit-style ``process_fidelity`` baseline.
 
 Quick start
 -----------
-Configure once, check one pair:
+The typed front door — one declarative request in, one versioned
+response out (:class:`Engine` owns sessions, the worker pool and the
+shared cache):
+
+>>> from repro import CheckRequest, CircuitSpec, Engine, NoiseSpec
+>>> engine = Engine()
+>>> request = CheckRequest(
+...     ideal=CircuitSpec.from_library("qft", num_qubits=5),
+...     noise=NoiseSpec(noises=3, seed=7),
+...     epsilon=0.01,
+... )
+>>> engine.check(request).equivalent
+True
+>>> engine.check(request).to_json()  # doctest: +SKIP
+'{"schema_version": "1", "equivalent": true, ...}'
+
+The supported lower layer, for callers already holding circuit
+objects — backend state (TDD computed tables, contraction orders,
+einsum paths) stays warm across pairs:
 
 >>> from repro import CheckConfig, CheckSession, qft, insert_random_noise
 >>> ideal = qft(5)
->>> noisy = insert_random_noise(ideal, num_noises=3, seed=7)
 >>> session = CheckSession(CheckConfig(epsilon=0.01))
->>> result = session.check(ideal, noisy)
->>> result.equivalent
-True
->>> result.to_json()  # doctest: +SKIP
-'{"equivalent": true, "verdict": "EQUIVALENT", ...}'
-
-Batch many pairs through one session — backend state (TDD computed
-tables, contraction orders, einsum paths) stays warm across pairs:
-
 >>> pairs = [(ideal, insert_random_noise(ideal, 2, seed=s)) for s in (1, 2)]
 >>> [r.verdict for r in session.check_many(pairs)]
 ['EQUIVALENT', 'EQUIVALENT']
@@ -30,10 +38,22 @@ Contraction engines are pluggable: ``CheckConfig(backend="tdd")`` (the
 paper's Tensor Decision Diagrams), ``"dense"`` (pairwise tensordot) or
 ``"einsum"`` (one ``numpy.einsum`` expression with an optimised path);
 register your own via :func:`repro.backends.register_backend`.  The
-kwargs-style :class:`EquivalenceChecker` front end is deprecated but
-fully supported — see ``docs/api.md`` for the migration path.
+kwargs-style :class:`EquivalenceChecker` front end is deprecated (its
+warning names :class:`Engine`) but fully supported — see
+``docs/api.md`` for the migration table and the wire-schema reference.
 """
 
+from .api import (
+    SCHEMA_VERSION,
+    CheckRequest,
+    CheckResponse,
+    CircuitSpec,
+    Engine,
+    JobHandle,
+    NoiseSpec,
+    ReproError,
+    Verdict,
+)
 from .backends import (
     ContractionBackend,
     available_backends,
@@ -90,15 +110,24 @@ from .tdd import Tdd, TddManager
 __version__ = "0.1.0"
 
 __all__ = [
+    "SCHEMA_VERSION",
     "CheckCache",
     "CheckConfig",
     "CheckError",
+    "CheckRequest",
+    "CheckResponse",
     "CheckResult",
     "CheckSession",
+    "CircuitSpec",
     "ContractionBackend",
+    "Engine",
     "EquivalenceChecker",
     "FidelityResult",
     "Gate",
+    "JobHandle",
+    "NoiseSpec",
+    "ReproError",
+    "Verdict",
     "KrausChannel",
     "MemoryLimitExceeded",
     "NoiseModel",

@@ -1,0 +1,71 @@
+"""The typed front-door API: one request type in, one response type out.
+
+``repro.api`` is the layer a service (HTTP, RPC, queue worker) builds
+on: declarative, frozen :class:`CheckRequest` objects (circuits as
+inline QASM, file paths or library specs; noise as a
+:class:`NoiseSpec`; config overrides), a versioned JSON wire schema
+(``schema_version`` ``"1"``, shared byte-for-byte with the CLI's
+``--json``/``batch`` output), a machine-readable
+:class:`ReproError` taxonomy, and the :class:`Engine` facade that owns
+sessions, the worker pool and the shared content-addressed cache.
+
+Layering (top to bottom):
+
+* :class:`Engine` — requests/responses, pool + cache ownership;
+* :class:`~repro.core.session.CheckSession` — circuit objects in,
+  results out; the supported lower layer;
+* :mod:`repro.backends` / :mod:`repro.tensornet` — contraction engines
+  and the plan IR.
+"""
+
+from ..core.stats import SCHEMA_VERSION
+from .engine import Engine, JobHandle
+from .errors import (
+    ERROR_CODES,
+    CheckFailedError,
+    CircuitLoadError,
+    CircuitSpecError,
+    ConfigError,
+    InvalidRequestError,
+    JobNotFoundError,
+    NoiseSpecError,
+    ReproError,
+    SchemaVersionError,
+    UnknownFieldError,
+    error_from_code,
+)
+from .request import (
+    CHANNELS,
+    CONFIG_OVERRIDE_FIELDS,
+    LIBRARY,
+    CheckRequest,
+    CircuitSpec,
+    NoiseSpec,
+)
+from .response import CheckResponse, Verdict
+
+__all__ = [
+    "CHANNELS",
+    "CONFIG_OVERRIDE_FIELDS",
+    "ERROR_CODES",
+    "LIBRARY",
+    "SCHEMA_VERSION",
+    "CheckFailedError",
+    "CheckRequest",
+    "CheckResponse",
+    "CircuitLoadError",
+    "CircuitSpec",
+    "CircuitSpecError",
+    "ConfigError",
+    "Engine",
+    "InvalidRequestError",
+    "JobHandle",
+    "JobNotFoundError",
+    "NoiseSpec",
+    "NoiseSpecError",
+    "ReproError",
+    "SchemaVersionError",
+    "UnknownFieldError",
+    "Verdict",
+    "error_from_code",
+]

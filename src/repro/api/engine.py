@@ -1,0 +1,424 @@
+"""The :class:`Engine` facade: one typed front door for every check.
+
+An engine owns everything a checking service needs behind a single
+object: the per-config :class:`~repro.core.session.CheckSession` map
+(warm backend state), **one** shared
+:class:`~repro.cache.CheckCache` (every session and every worker keys
+lookups off the request fingerprint), and **one** lazily-created worker
+pool reused across calls.  Callers hand it frozen
+:class:`~repro.api.request.CheckRequest` objects and get
+:class:`~repro.api.response.CheckResponse` objects back:
+
+>>> from repro import CheckRequest, CircuitSpec, Engine, NoiseSpec
+>>> engine = Engine(jobs=4, cache=True)
+>>> request = CheckRequest(
+...     ideal=CircuitSpec.from_library("qft", num_qubits=4),
+...     noise=NoiseSpec(noises=2, seed=7),
+...     epsilon=0.01,
+... )
+>>> engine.check(request).equivalent                 # doctest: +SKIP
+True
+>>> for r in engine.check_iter([request] * 8):       # doctest: +SKIP
+...     print(r.verdict)
+
+Three call shapes:
+
+* :meth:`Engine.check` — one request, one response; failures raise
+  typed :class:`~repro.api.errors.ReproError` subclasses;
+* :meth:`Engine.check_iter` — a request stream in, a response stream
+  out: order-preserving, error-isolating (a failed request becomes an
+  ``ERROR`` response, the rest still run), fanned out to the shared
+  pool when ``jobs > 1``;
+* :meth:`Engine.submit` / :meth:`Engine.result` — fire-and-collect job
+  handles over the same pool.
+
+The engine is the documented replacement for the deprecated
+``EquivalenceChecker`` front end; ``CheckSession`` remains the
+supported lower layer for callers who already hold circuit objects and
+want zero request ceremony.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
+
+from ..backends import ContractionBackend, available_backends
+from ..cache import CheckCache
+from ..cache.fingerprint import request_fingerprint
+from ..circuits import QuantumCircuit
+from ..core.session import CheckConfig, CheckSession
+from ..core.stats import CheckError
+from .errors import (
+    CheckFailedError,
+    ConfigError,
+    JobNotFoundError,
+    ReproError,
+)
+from .request import CheckRequest, CircuitSpec, apply_noise
+from .response import CheckResponse
+
+#: Resolved-circuit memo bound (pure specs only: inline QASM and
+#: library generators; path specs re-read their file every time).
+_CIRCUIT_MEMO_ENTRIES = 128
+
+#: Session memo bound.  A long-lived service sweeping epsilons or
+#: config overrides must not accumulate warm backend state forever;
+#: the least-recently-used (config, session) pair is dropped past this.
+_SESSION_MEMO_ENTRIES = 32
+
+
+@dataclass(frozen=True)
+class JobHandle:
+    """Ticket for one submitted request; redeem with :meth:`Engine.result`."""
+
+    id: str
+    request: CheckRequest
+
+
+class Engine:
+    """Session, pool and cache owner behind the typed request API.
+
+    ``config`` (or keyword overrides, as with ``CheckSession``) sets the
+    *base* configuration; each request's ``config`` overrides layer on
+    top.  ``jobs`` sizes the shared worker pool used by
+    :meth:`check_iter` and :meth:`submit`; ``cache``/``cache_dir``
+    switch on the one shared content-addressed cache (defaulting to the
+    base config's own cache knobs).
+    """
+
+    def __init__(
+        self,
+        config: Optional[CheckConfig] = None,
+        *,
+        jobs: int = 1,
+        cache: Optional[bool] = None,
+        cache_dir: Optional[str] = None,
+        **overrides,
+    ):
+        if config is None:
+            config = CheckConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if cache is None:
+            cache = config.cache
+        if cache_dir is None:
+            cache_dir = config.cache_dir
+        self.jobs = jobs
+        #: the one shared cache (None when caching is off); every
+        #: in-process session attaches this object, and worker configs
+        #: carry its resolved directory so the pool shares the disk tier
+        self.cache: Optional[CheckCache] = (
+            CheckCache.open(cache_dir) if cache else None
+        )
+        self.cache_dir: Optional[str] = (
+            self.cache.directory if self.cache is not None else None
+        )
+        #: base config with the cache knobs stripped — sessions must not
+        #: open private caches; they share the engine's
+        self.config = config.replace(cache=False, cache_dir=None)
+        self._sessions: Dict[CheckConfig, CheckSession] = {}
+        #: (epsilon, overrides) -> (config, session): one small-tuple
+        #: hash on the hot path instead of re-hashing the full frozen
+        #: config every check; LRU-bounded, evictions also retire the
+        #: session when no other key still maps to its config
+        self._resolved: "OrderedDict[tuple, Tuple[CheckConfig, CheckSession]]" = (
+            OrderedDict()
+        )
+        self._circuits: "OrderedDict[CircuitSpec, QuantumCircuit]" = (
+            OrderedDict()
+        )
+        self._pool = None
+        self._job_ids = itertools.count(1)
+        self._jobs_pending: Dict[str, tuple] = {}
+
+    # --- resolution -----------------------------------------------------------
+
+    def _config_for(self, request: CheckRequest) -> CheckConfig:
+        return self._config_session_for(request)[0]
+
+    def _config_session_for(
+        self, request: CheckRequest
+    ) -> Tuple[CheckConfig, CheckSession]:
+        key = (request.epsilon, request.config)
+        entry = self._resolved.get(key)
+        if entry is not None:
+            self._resolved.move_to_end(key)
+            return entry
+        config = request.resolve_config(self.config)
+        entry = (config, self._session(config))
+        self._resolved[key] = entry
+        while len(self._resolved) > _SESSION_MEMO_ENTRIES:
+            _, (old_config, _) = self._resolved.popitem(last=False)
+            if all(
+                cfg != old_config for cfg, _ in self._resolved.values()
+            ):
+                self._sessions.pop(old_config, None)
+        return entry
+
+    def _circuit(self, spec: CircuitSpec) -> QuantumCircuit:
+        if spec.circuit is not None:
+            return spec.circuit
+        if spec.path is not None:  # files mutate; never memoised
+            return spec.resolve()
+        # inline-QASM and library specs are pure (specs validate
+        # hashability and random generators require a pinned seed)
+        circuit = self._circuits.get(spec)
+        if circuit is not None:
+            self._circuits.move_to_end(spec)
+            return circuit
+        circuit = spec.resolve()
+        self._circuits[spec] = circuit
+        while len(self._circuits) > _CIRCUIT_MEMO_ENTRIES:
+            self._circuits.popitem(last=False)
+        return circuit
+
+    def _resolve(
+        self, request: CheckRequest
+    ) -> Tuple[CheckConfig, QuantumCircuit, QuantumCircuit]:
+        """Request -> (config, ideal, noisy); failures carry typed codes."""
+        config = self._config_for(request)
+        ideal = self._circuit(request.ideal)
+        base = (
+            self._circuit(request.noisy)
+            if request.noisy is not None
+            else ideal
+        )
+        return config, ideal, apply_noise(request.noise, base)
+
+    def _session(self, config: CheckConfig) -> CheckSession:
+        session = self._sessions.get(config)
+        if session is None:
+            session = CheckSession(config)
+            if self.cache is not None:
+                session.cache = self.cache
+            self._sessions[config] = session
+        return session
+
+    def _worker_config(self, config: CheckConfig) -> CheckConfig:
+        """The config shipped to pool workers (re-opens the disk tier)."""
+        if isinstance(config.backend, ContractionBackend):
+            raise ConfigError(
+                "jobs > 1 cannot ship a live backend instance to worker "
+                "processes; configure the backend by registry name "
+                f"(available: {', '.join(available_backends())})"
+            )
+        if self.cache is None:
+            return config
+        return config.replace(cache=True, cache_dir=self.cache_dir)
+
+    def fingerprint(self, request: CheckRequest) -> str:
+        """The request's content fingerprint — its result-cache key.
+
+        Two requests with equal fingerprints are the same query to the
+        service: with caching on, the second is answered by lookup.
+        """
+        config, ideal, noisy = self._resolve(request)
+        return request_fingerprint(ideal, noisy, config, request.mode)
+
+    # --- checking -------------------------------------------------------------
+
+    def _execute(
+        self, request: CheckRequest, index: Optional[int]
+    ) -> CheckResponse:
+        try:
+            config, ideal, noisy = self._resolve(request)
+            session = self._config_session_for(request)[1]
+            try:
+                result = session.run(ideal, noisy, request.mode)
+            except Exception as exc:
+                raise CheckFailedError.wrap(exc) from exc
+        except ReproError as error:
+            return CheckResponse.from_error(
+                error, request=request, index=index
+            )
+        return CheckResponse.from_result(result, request=request, index=index)
+
+    def check(self, request: CheckRequest) -> CheckResponse:
+        """Answer one request in-process; typed errors raise."""
+        return self._execute(request, None).raise_for_error()
+
+    def fidelity(self, request: CheckRequest) -> float:
+        """The request's exact fidelity (forces ``mode="fidelity"``)."""
+        from dataclasses import replace
+
+        if request.mode != "fidelity":
+            request = replace(request, mode="fidelity")
+        return self.check(request).fidelity
+
+    def check_iter(
+        self, requests: Iterable[CheckRequest]
+    ) -> Iterator[CheckResponse]:
+        """Stream responses for a request stream, in input order.
+
+        Error-isolating: a request that fails — unparseable circuit,
+        bad config, raising check — yields an ``ERROR`` response at its
+        position and the rest still run.  With ``jobs > 1`` requests
+        are materialised up front and fan out to the engine's shared
+        worker pool; with ``jobs == 1`` the stream is fully lazy.
+        """
+        if self.jobs == 1:
+            return (
+                self._execute(request, index)
+                for index, request in enumerate(requests)
+            )
+        return self._check_iter_parallel(list(requests))
+
+    def _check_iter_parallel(
+        self, requests
+    ) -> Iterator[CheckResponse]:
+        from ..parallel.batch import iter_parallel_items
+
+        entries = []  # (request, resolved-or-None, error-or-None)
+        for request in requests:
+            try:
+                config, ideal, noisy = self._resolve(request)
+                entries.append(
+                    (request,
+                     (self._worker_config(config), ideal, noisy,
+                      request.mode),
+                     None)
+                )
+            except ReproError as error:
+                entries.append((request, None, error))
+        outcomes = iter_parallel_items(
+            [item for _, item, _ in entries if item is not None],
+            self.jobs,
+            isolate_errors=True,
+            pool=self._ensure_pool(),
+        )
+        for index, (request, item, error) in enumerate(entries):
+            if error is not None:
+                yield CheckResponse.from_error(
+                    error, request=request, index=index
+                )
+                continue
+            outcome = next(outcomes)
+            if isinstance(outcome, CheckError):
+                yield CheckResponse.from_check_error(
+                    outcome, request=request, index=index
+                )
+            else:
+                yield CheckResponse.from_result(
+                    outcome, request=request, index=index
+                )
+
+    # --- job handles ----------------------------------------------------------
+
+    def submit(self, request: CheckRequest) -> JobHandle:
+        """Enqueue one request; collect it later with :meth:`result`.
+
+        With ``jobs > 1`` the check starts immediately on the shared
+        pool; with ``jobs == 1`` it is deferred and runs inside
+        :meth:`result` (same warm sessions either way).  Resolution
+        failures are captured in the handle and surface as an ``ERROR``
+        response, never as a raise from ``submit``.
+        """
+        job_id = f"job-{next(self._job_ids)}"
+        try:
+            config, ideal, noisy = self._resolve(request)
+            if self.jobs > 1:
+                from ..parallel.worker import run_check_item
+
+                future = self._ensure_pool().submit(
+                    run_check_item,
+                    self._worker_config(config),
+                    0,
+                    ideal,
+                    noisy,
+                    True,
+                    request.mode,
+                )
+                state = ("future", future)
+            else:
+                state = ("deferred", (config, ideal, noisy))
+        except ReproError as error:
+            state = ("error", error)
+        self._jobs_pending[job_id] = (request, state)
+        return JobHandle(id=job_id, request=request)
+
+    def result(
+        self,
+        handle: Union[JobHandle, str],
+        timeout: Optional[float] = None,
+    ) -> CheckResponse:
+        """Collect one submitted job's response (each job, exactly once).
+
+        Failures come back as ``ERROR`` responses; an unknown or
+        already-collected id raises
+        :class:`~repro.api.errors.JobNotFoundError`.  ``timeout``
+        applies to pool-backed jobs; on expiry the job stays pending
+        and ``TimeoutError`` propagates.
+        """
+        job_id = handle.id if isinstance(handle, JobHandle) else str(handle)
+        entry = self._jobs_pending.pop(job_id, None)
+        if entry is None:
+            raise JobNotFoundError(
+                f"unknown or already-collected job {job_id!r}"
+            )
+        request, (kind, payload) = entry
+        if kind == "error":
+            return CheckResponse.from_error(payload, request=request)
+        if kind == "future":
+            try:
+                _, result, error = payload.result(timeout)
+            except (TimeoutError, _FuturesTimeout):
+                # concurrent.futures.TimeoutError only became an alias
+                # of the builtin in 3.11; catch both for the 3.10 CI leg
+                self._jobs_pending[job_id] = entry  # still collectable
+                raise
+            if error is not None:
+                error_type, message = error
+                return CheckResponse.from_error(
+                    CheckFailedError(message, error_type=error_type),
+                    request=request,
+                )
+            return CheckResponse.from_result(result, request=request)
+        config, ideal, noisy = payload
+        session = self._session(config)
+        try:
+            result = session.run(ideal, noisy, request.mode)
+        except Exception as exc:
+            return CheckResponse.from_error(
+                CheckFailedError.wrap(exc), request=request
+            )
+        return CheckResponse.from_result(result, request=request)
+
+    def pending_jobs(self) -> Tuple[str, ...]:
+        """Ids of submitted-but-uncollected jobs, oldest first."""
+        return tuple(self._jobs_pending)
+
+    # --- lifecycle ------------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def reset(self) -> None:
+        """Drop warm session/backend state (the cache survives)."""
+        for session in self._sessions.values():
+            session.reset()
+        self._sessions.clear()
+        self._resolved.clear()
+        self._circuits.clear()
+
+    def close(self) -> None:
+        """Shut the worker pool down and forget pending jobs."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        self._jobs_pending.clear()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

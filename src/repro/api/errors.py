@@ -1,0 +1,214 @@
+"""The :class:`ReproError` taxonomy: typed failures with machine codes.
+
+Every failure the :class:`~repro.api.engine.Engine` can surface is an
+instance of :class:`ReproError`, carrying a stable machine-readable
+``code`` (the value services branch on), the original exception class
+name when one was wrapped (``error_type``, kept for CLI back-compat with
+the pre-taxonomy batch records) and an optional ``details`` mapping.
+``to_dict()`` emits the error half of the version-``1`` response wire
+schema.
+
+Codes are stable API: renaming one is a schema break.  The registry
+:data:`ERROR_CODES` maps every code back to its class, which is how
+:func:`error_from_code` reconstructs typed errors when a wire payload is
+parsed back (golden round-trips depend on it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from ..core.stats import SCHEMA_VERSION
+
+
+class ReproError(Exception):
+    """Base of every typed checking-service failure.
+
+    Subclasses override :attr:`code`; the message is the human-readable
+    half, the code the machine-readable one.
+    """
+
+    #: stable machine-readable failure code (wire field ``error_code``)
+    code = "repro_error"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        error_type: Optional[str] = None,
+        details: Optional[dict] = None,
+        index: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.message = message
+        #: original exception class name when this error wraps one;
+        #: defaults to the ReproError subclass name itself
+        self.error_type = error_type or type(self).__name__
+        #: structured context (offending field, valid choices, ...)
+        self.details = dict(details or {})
+        #: position in a batch input, when raised for one item of many
+        self.index = index
+
+    def to_dict(self) -> dict:
+        """The error record of the version-``1`` response wire schema."""
+        record = {
+            "schema_version": SCHEMA_VERSION,
+            "equivalent": False,
+            "verdict": "ERROR",
+            "error": self.message,
+            "error_type": self.error_type,
+            "error_code": self.code,
+            "index": self.index,
+        }
+        if self.details:
+            record["details"] = dict(self.details)
+        return record
+
+    def __reduce__(self):
+        # Default Exception pickling replays only ``args`` and would
+        # drop the keyword-only fields (and a dynamically-assigned code
+        # from :func:`error_from_code`); rebuild explicitly instead.
+        return (
+            _rebuild_error,
+            (type(self), self.message, self.error_type, self.details,
+             self.index, self.code),
+        )
+
+    def __eq__(self, other) -> bool:
+        """Structural equality, so wire round-trips compare equal."""
+        if not isinstance(other, ReproError):
+            return NotImplemented
+        return (
+            self.code == other.code
+            and self.message == other.message
+            and self.error_type == other.error_type
+            and self.details == other.details
+            and self.index == other.index
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.code, self.message, self.error_type, self.index))
+
+    @classmethod
+    def wrap(cls, exc: Exception, index: Optional[int] = None) -> "ReproError":
+        """Adopt an arbitrary exception into the taxonomy.
+
+        A :class:`ReproError` passes through unchanged (its own code is
+        more specific); anything else becomes an instance of ``cls``
+        whose ``error_type`` remembers the original class.
+        """
+        if isinstance(exc, ReproError):
+            if index is not None and exc.index is None:
+                exc.index = index
+            return exc
+        return cls(str(exc), error_type=type(exc).__name__, index=index)
+
+
+def _rebuild_error(cls, message, error_type, details, index, code):
+    """Pickle hook of :meth:`ReproError.__reduce__`."""
+    error = cls(message, error_type=error_type, details=details, index=index)
+    if error.code != code:
+        error.code = code
+    return error
+
+
+class InvalidRequestError(ReproError):
+    """A request payload that cannot be interpreted at all."""
+
+    code = "invalid_request"
+
+
+class SchemaVersionError(InvalidRequestError):
+    """A wire payload declaring a schema version this build cannot read."""
+
+    code = "unsupported_schema_version"
+
+
+class UnknownFieldError(InvalidRequestError):
+    """A wire payload carrying a field the schema does not define.
+
+    Unknown fields are rejected, not ignored: silently dropping a
+    mistyped ``epsilonn`` would turn a typo into a wrong verdict.
+    """
+
+    code = "unknown_field"
+
+
+class CircuitSpecError(InvalidRequestError):
+    """A circuit spec that is not exactly one of qasm / path / library."""
+
+    code = "invalid_circuit_spec"
+
+
+class NoiseSpecError(InvalidRequestError):
+    """A noise spec with an unknown channel or inconsistent placement."""
+
+    code = "invalid_noise_spec"
+
+
+class ConfigError(InvalidRequestError):
+    """Config overrides that :class:`~repro.core.session.CheckConfig`
+    rejects (the message lists the valid choices)."""
+
+    code = "invalid_config"
+
+
+class CircuitLoadError(ReproError):
+    """A well-formed circuit spec whose circuit cannot be materialised
+    (missing file, QASM parse error, bad library parameters)."""
+
+    code = "circuit_load_failed"
+
+
+class CheckFailedError(ReproError):
+    """The check itself raised after the request resolved cleanly."""
+
+    code = "check_failed"
+
+
+class JobNotFoundError(ReproError):
+    """A job id :meth:`~repro.api.engine.Engine.result` does not hold
+    (never submitted, or its result was already collected)."""
+
+    code = "job_not_found"
+
+
+#: code -> class, for every concrete member of the taxonomy.
+ERROR_CODES: Dict[str, Type[ReproError]] = {
+    cls.code: cls
+    for cls in (
+        ReproError,
+        InvalidRequestError,
+        SchemaVersionError,
+        UnknownFieldError,
+        CircuitSpecError,
+        NoiseSpecError,
+        ConfigError,
+        CircuitLoadError,
+        CheckFailedError,
+        JobNotFoundError,
+    )
+}
+
+
+def error_from_code(
+    code: str,
+    message: str,
+    *,
+    error_type: Optional[str] = None,
+    details: Optional[dict] = None,
+    index: Optional[int] = None,
+) -> ReproError:
+    """Reconstruct a typed error from its wire fields.
+
+    Unknown codes (a newer peer's taxonomy) degrade to the base
+    :class:`ReproError` rather than failing the parse — the code string
+    itself is preserved on the instance.
+    """
+    cls = ERROR_CODES.get(code)
+    error = (cls or ReproError)(
+        message, error_type=error_type, details=details, index=index
+    )
+    if cls is None:
+        error.code = code
+    return error

@@ -399,5 +399,7 @@ def resolve_backend(
     if isinstance(backend, str):
         return get_backend(backend, **options)
     raise TypeError(
-        f"backend must be a name or a ContractionBackend, got {type(backend)!r}"
+        f"backend must be a registered name or a ContractionBackend "
+        f"instance, got {type(backend)!r}; registered names: "
+        f"{', '.join(available_backends()) or '(none)'}"
     )

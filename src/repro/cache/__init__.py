@@ -38,6 +38,7 @@ from .fingerprint import (
     circuit_fingerprint,
     config_fingerprint,
     plan_key,
+    request_fingerprint,
     result_key,
     structure_fingerprint,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "default_cache_dir",
     "open_cache",
     "plan_key",
+    "request_fingerprint",
     "result_key",
     "structure_fingerprint",
 ]

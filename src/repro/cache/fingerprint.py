@@ -159,3 +159,31 @@ def result_key(ideal_fp: str, noisy_fp: str, config_fp: str) -> str:
     digest.update(noisy_fp.encode())
     digest.update(config_fp.encode())
     return f"result-{digest.hexdigest()}"
+
+
+def request_fingerprint(ideal, noisy, config, mode: str = "check") -> str:
+    """Content fingerprint of one fully-resolved check request.
+
+    The semantic identity of a query against the checking service:
+    both circuits' content, the effective config, and the run mode
+    (a fidelity-mode query demands the exact no-early-termination
+    value, so it can never alias a check-mode one).  For the default
+    check mode this *is* the result-cache key
+    (:meth:`repro.cache.results.ResultCache.key_for` delegates here),
+    so an equal-fingerprinted check-mode request is answered without
+    planning or contracting in any process sharing the store.
+    Fidelity-mode fingerprints identify equal queries for dedup, but
+    are never answered from the cache — fidelity results are not
+    stored (see :meth:`repro.core.session.CheckSession.run`).
+    """
+    key = result_key(
+        circuit_fingerprint(ideal),
+        circuit_fingerprint(noisy),
+        config_fingerprint(config),
+    )
+    if mode == "check":
+        return key
+    digest = _new_hash("request-mode")
+    digest.update(mode.encode())
+    digest.update(key.encode())
+    return f"result-{digest.hexdigest()}"

@@ -19,11 +19,7 @@ from __future__ import annotations
 import pickle
 from typing import TYPE_CHECKING, Optional
 
-from .fingerprint import (
-    circuit_fingerprint,
-    config_fingerprint,
-    result_key,
-)
+from .fingerprint import request_fingerprint
 from .store import CacheStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -50,12 +46,13 @@ class ResultCache:
         noisy: "QuantumCircuit",
         config,
     ) -> str:
-        """The store key of one ``(ideal, noisy, config)`` check."""
-        return result_key(
-            circuit_fingerprint(ideal),
-            circuit_fingerprint(noisy),
-            config_fingerprint(config),
-        )
+        """The store key of one ``(ideal, noisy, config)`` check.
+
+        This is exactly the request fingerprint of
+        :func:`repro.cache.fingerprint.request_fingerprint` — the
+        result cache is keyed off the request's semantic identity.
+        """
+        return request_fingerprint(ideal, noisy, config)
 
     def get(self, key: str) -> Optional["CheckResult"]:
         """The cached result under ``key``, or ``None`` on a miss.

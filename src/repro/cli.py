@@ -1,23 +1,36 @@
 """Command-line interface: ``python -m repro <command>``.
 
+``check``, ``fidelity`` and ``batch`` are thin request builders over
+:class:`repro.api.Engine`: each translates its flags into a frozen
+:class:`~repro.api.request.CheckRequest` and prints the engine's
+response — so the CLI and the API emit the *same* versioned wire schema
+(``schema_version`` ``"1"``), and anything the CLI can do an HTTP/RPC
+layer can do with the identical payloads.
+
 Commands
 --------
 ``check``
     Decide epsilon-equivalence between an ideal OpenQASM 2 circuit and a
     noisy implementation (either a second QASM file plus a noise model,
     or random noise injected into the ideal circuit).  ``--json`` emits
-    the full machine-readable result.
+    the full machine-readable result (the version-``1`` response wire
+    schema).
 ``fidelity``
     Print the Jamiolkowski fidelity with a chosen algorithm
     ('alg1', 'alg2' or the dense-linalg baseline 'dense').
 ``batch``
-    Check many QASM pairs listed in a manifest file through one shared
-    :class:`~repro.core.session.CheckSession`, streaming one JSON result
-    per line (JSONL).  ``--jobs N`` fans whole checks out to N worker
-    processes (output order stays deterministic); a bad row — malformed
-    manifest line, unreadable QASM, raising check — becomes an ``ERROR``
-    record instead of aborting the batch, and a run summary lands on
-    stderr.  Exit code: 0 all equivalent, 1 some non-equivalent, 2 any
+    Check many pairs listed in a manifest through one shared
+    :class:`~repro.api.Engine`, streaming one JSON wire record per line
+    (JSONL).  Manifest rows come in two forms, freely mixed: the classic
+    ``ideal.qasm [noisy.qasm]`` pair (the CLI noise/epsilon flags apply),
+    or a ``{...}`` JSON object parsed as a wire-schema
+    :class:`~repro.api.request.CheckRequest` (absent fields inherit the
+    CLI flags; explicit fields win).  ``--jobs N`` fans whole checks out
+    to N worker processes (output order stays deterministic); a bad row —
+    malformed manifest line, invalid request object, unreadable QASM,
+    raising check — becomes an ``ERROR`` record with a machine-readable
+    ``error_code`` instead of aborting the batch, and a run summary lands
+    on stderr.  Exit code: 0 all equivalent, 1 some non-equivalent, 2 any
     error records.
 ``plan``
     Build the contraction plan for the chosen algorithm's network and
@@ -39,38 +52,24 @@ import argparse
 import json
 import sys
 import time
+from collections import namedtuple
+from typing import Optional
 
+from .api import (
+    CHANNELS,
+    CheckRequest,
+    CircuitSpec,
+    Engine,
+    InvalidRequestError,
+    NoiseSpec,
+    ReproError,
+)
 from .backends import available_backends
 from .cache import CheckCache, DiskStore, count_by_kind
 from .circuits import qasm
-from .core import (
-    CheckConfig,
-    CheckError,
-    CheckSession,
-    RunStats,
-    jamiolkowski_fidelity,
-)
-from .noise import (
-    NoiseModel,
-    amplitude_damping,
-    bit_flip,
-    bit_phase_flip,
-    depolarizing,
-    insert_random_noise,
-    phase_damping,
-    phase_flip,
-)
+from .core import RunStats
 from .tensornet.ordering import ORDER_HEURISTICS
 from .tensornet.planner import PLANNERS, build_plan
-
-CHANNELS = {
-    "depolarizing": depolarizing,
-    "bit_flip": bit_flip,
-    "phase_flip": phase_flip,
-    "bit_phase_flip": bit_phase_flip,
-    "amplitude_damping": lambda p: amplitude_damping(1.0 - p),
-    "phase_damping": lambda p: phase_damping(1.0 - p),
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -108,10 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "manifest",
-        help="text file: one 'ideal.qasm [noisy.qasm]' pair per line "
-        "('#' starts a comment); as with 'check', the noise flags apply "
-        "on top of the noisy circuit — or of the ideal one when noisy "
-        "is omitted",
+        help="text file, one row per line: 'ideal.qasm [noisy.qasm]' "
+        "pairs ('#' starts a comment) and/or JSON wire-schema request "
+        "objects, freely mixed; the noise/epsilon/engine flags apply to "
+        "path rows and fill absent fields of JSON rows",
     )
     _add_noise_args(batch)
     batch.add_argument(
@@ -248,16 +247,24 @@ def _add_cache_args(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _noise_spec_from(args) -> Optional[NoiseSpec]:
+    """The CLI noise flags as a wire-schema :class:`NoiseSpec`."""
+    if args.every_gate:
+        return NoiseSpec(
+            channel=args.channel, p=args.p, every_gate=True, seed=args.seed
+        )
+    if args.noises is not None:
+        return NoiseSpec(
+            channel=args.channel, p=args.p, noises=args.noises,
+            seed=args.seed,
+        )
+    return None
+
+
 def _noisy_from(args, base):
     """Apply the CLI noise flags to a loaded base circuit."""
-    factory = lambda: CHANNELS[args.channel](args.p)  # noqa: E731
-    if args.every_gate:
-        return NoiseModel().set_default_error(factory).apply(base)
-    if args.noises is not None:
-        return insert_random_noise(
-            base, args.noises, channel_factory=factory, seed=args.seed
-        )
-    return base
+    spec = _noise_spec_from(args)
+    return spec.apply(base) if spec is not None else base
 
 
 def load_noisy(args):
@@ -267,26 +274,60 @@ def load_noisy(args):
     return ideal, _noisy_from(args, base)
 
 
-def _session_from(args) -> CheckSession:
-    return CheckSession(
-        CheckConfig(
-            epsilon=args.epsilon,
-            algorithm=args.algorithm,
-            backend=args.backend,
-            order_method=args.order_method,
-            planner=args.planner,
-            max_intermediate_size=args.max_intermediate,
-            cache=args.cache,
-            cache_dir=args.cache_dir,
-        )
+def _config_overrides(args) -> dict:
+    """The CLI engine flags as CheckConfig overrides for a request."""
+    overrides = {
+        "order_method": args.order_method,
+        "planner": args.planner,
+        "max_intermediate_size": args.max_intermediate,
+    }
+    if getattr(args, "algorithm", None) is not None:
+        overrides["algorithm"] = args.algorithm
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
+    return overrides
+
+
+def _request_from(args, ideal, noisy=None, mode="check") -> CheckRequest:
+    """The CLI flags as a wire-schema :class:`CheckRequest`."""
+    return CheckRequest(
+        ideal=ideal,
+        noisy=noisy,
+        noise=_noise_spec_from(args),
+        epsilon=getattr(args, "epsilon", 0.01),
+        mode=mode,
+        config=_config_overrides(args),
     )
 
 
+def _engine_from(args, jobs: int = 1) -> Engine:
+    return Engine(
+        jobs=jobs,
+        cache=getattr(args, "cache", False),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+
+
+def _print_error(error: ReproError) -> int:
+    print(f"error [{error.code}]: {error}", file=sys.stderr)
+    return 2
+
+
 def cmd_check(args) -> int:
-    ideal, noisy = load_noisy(args)
-    result = _session_from(args).check(ideal, noisy)
+    try:
+        # request construction validates the noise flags too — a bad
+        # --noises/--p must take the typed-error exit, not a traceback
+        request = _request_from(
+            args,
+            CircuitSpec.from_path(args.ideal),
+            CircuitSpec.from_path(args.noisy) if args.noisy else None,
+        )
+        response = _engine_from(args).check(request)
+    except ReproError as error:
+        return _print_error(error)
+    result = response.result
     if args.json:
-        print(result.to_json())
+        print(response.to_json())
         return 0 if result.equivalent else 1
     bound = " (lower bound)" if result.is_lower_bound else ""
     print(f"algorithm : {result.algorithm}")
@@ -301,19 +342,17 @@ def cmd_check(args) -> int:
 
 
 def cmd_fidelity(args) -> int:
-    ideal, noisy = load_noisy(args)
-    if args.algorithm == "dense":
-        value = jamiolkowski_fidelity(noisy, ideal, algorithm="dense")
-    else:
-        value = jamiolkowski_fidelity(
-            noisy, ideal,
-            algorithm=args.algorithm,
-            backend=args.backend,
-            order_method=args.order_method,
-            planner=args.planner,
-            max_intermediate_size=args.max_intermediate,
+    try:
+        request = _request_from(
+            args,
+            CircuitSpec.from_path(args.ideal),
+            CircuitSpec.from_path(args.noisy) if args.noisy else None,
+            mode="fidelity",
         )
-    print(f"{value:.10f}")
+        response = _engine_from(args).check(request)
+    except ReproError as error:
+        return _print_error(error)
+    print(f"{response.fidelity:.10f}")
     return 0
 
 
@@ -398,116 +437,174 @@ def cmd_cache(args) -> int:
     raise AssertionError("unreachable")
 
 
-def iter_manifest(path):
-    """Yield ``(lineno, ideal, noisy_or_None, error_or_None)`` rows.
+#: One parsed manifest row.  Exactly one of ``error`` (unparseable row),
+#: ``request`` (a JSON wire-schema request object) or ``ideal`` (a
+#: classic path pair, ``noisy`` optional) is populated.
+ManifestRow = namedtuple("ManifestRow", "lineno ideal noisy error request")
 
-    Malformed rows are *reported*, not raised: batch runs isolate per-row
-    failures, so a typo on line 40 cannot take down lines 1–39.
+
+def iter_manifest(path):
+    """Yield one :class:`ManifestRow` per non-blank manifest line.
+
+    Two row forms, freely mixed: classic ``ideal.qasm [noisy.qasm]``
+    pairs ('#' starts a comment), and JSON objects (lines starting with
+    ``{``) parsed as wire-schema check requests.  Malformed rows are
+    *reported*, not raised: batch runs isolate per-row failures, so a
+    typo on line 40 cannot take down lines 1–39.
     """
     with open(path) as handle:
         for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if stripped.startswith("{"):
+                # JSON rows skip comment stripping: '#' may legitimately
+                # appear inside QASM text or parameter strings.
+                try:
+                    payload = json.loads(stripped)
+                except json.JSONDecodeError as exc:
+                    yield ManifestRow(lineno, None, None, (
+                        f"{path}:{lineno}: bad JSON request row: {exc}"
+                    ), None)
+                    continue
+                yield ManifestRow(lineno, None, None, None, payload)
+                continue
             line = line.split("#", 1)[0].strip()
             if not line:
                 continue
             parts = line.split()
             if len(parts) > 2:
-                yield lineno, None, None, (
-                    f"{path}:{lineno}: expected 'ideal.qasm [noisy.qasm]', "
-                    f"got {len(parts)} fields"
-                )
+                yield ManifestRow(lineno, None, None, (
+                    f"{path}:{lineno}: expected 'ideal.qasm [noisy.qasm]' "
+                    f"or a JSON request object, got {len(parts)} fields"
+                ), None)
                 continue
-            yield lineno, parts[0], (
+            yield ManifestRow(lineno, parts[0], (
                 parts[1] if len(parts) == 2 else None
-            ), None
+            ), None, None)
 
 
 def read_manifest(path):
     """Yield ``(ideal_path, noisy_path_or_None)`` entries of a manifest.
 
-    The strict form of :func:`iter_manifest`: malformed rows raise
-    ``ValueError`` (library callers who want fail-fast behaviour).
+    The strict path-pair form of :func:`iter_manifest`: malformed rows
+    raise ``ValueError`` (library callers who want fail-fast behaviour),
+    and JSON request rows are rejected — parse those with
+    :meth:`repro.api.CheckRequest.from_dict` via :func:`iter_manifest`.
     """
-    for _, ideal, noisy, error in iter_manifest(path):
-        if error is not None:
-            raise ValueError(error)
-        yield ideal, noisy
+    for row in iter_manifest(path):
+        if row.error is not None:
+            raise ValueError(row.error)
+        if row.request is not None:
+            raise ValueError(
+                "manifest contains JSON request rows; iterate with "
+                "iter_manifest and parse them with CheckRequest.from_dict"
+            )
+        yield row.ideal, row.noisy
 
 
 def cmd_batch(args) -> int:
-    session = _session_from(args)
+    # The engine owns the --jobs worker pool; close it deterministically
+    # rather than racing interpreter teardown.
+    with _engine_from(args, jobs=args.jobs) as engine:
+        try:
+            return _run_batch(args, engine)
+        except ReproError as error:
+            # a bad *flag* (e.g. --noises -1) fails before any row runs;
+            # per-row failures are isolated into ERROR records inside
+            return _print_error(error)
+
+
+def _run_batch(args, engine: Engine) -> int:
     start = time.perf_counter()
-    rows = list(iter_manifest(args.manifest))  # path metadata only
+    rows = list(iter_manifest(args.manifest))  # row metadata only
 
     totals = {"checked": 0, "equivalent": 0, "errors": 0}
     run_stats = []
 
-    def load_pair(ideal_path, noisy_path):
-        ideal = qasm.load(ideal_path)
-        base = qasm.load(noisy_path) if noisy_path else ideal
-        return ideal, _noisy_from(args, base)
+    # JSON rows inherit absent fields from the CLI flags.  The base
+    # request needs *some* ideal spec to construct; rows are required
+    # to name their own (checked against the raw payload below), so
+    # this placeholder never resolves.
+    base_request = _request_from(args, CircuitSpec.inline(""))
 
-    def error_record(error_type, message):
-        return {
-            "equivalent": False,
-            "verdict": "ERROR",
-            "error": message,
-            "error_type": error_type,
-        }
+    def manifest_error(message):
+        # One wire shape for every error record: the same
+        # ReproError.to_dict the engine path uses, with the historical
+        # "ManifestError" type label for unparseable rows.
+        return InvalidRequestError(
+            message, error_type="ManifestError"
+        ).to_dict()
 
-    def emit(lineno, ideal_path, noisy_path, record):
+    # One entry per manifest row: (lineno, ideal-label, noisy-label,
+    # request-or-None, error-record-or-None).  Requests stay lazy —
+    # circuits load inside the engine — so serial runs keep streaming.
+    entries = []
+    for row in rows:
+        if row.error is not None:
+            entries.append((row.lineno, row.ideal, row.noisy, None,
+                            manifest_error(row.error)))
+            continue
+        if row.request is not None:
+            try:
+                # the raw payload must name its own ideal — the base
+                # request's placeholder never stands in for it
+                if not isinstance(row.request, dict) or row.request.get(
+                    "ideal"
+                ) is None:
+                    raise InvalidRequestError(
+                        f"{args.manifest}:{row.lineno}: request row is "
+                        "missing 'ideal'"
+                    )
+                request = CheckRequest.from_dict(
+                    row.request, base=base_request
+                )
+            except ReproError as exc:
+                entries.append((row.lineno, None, None, None,
+                                exc.to_dict()))
+                continue
+            noisy_label = (request.noisy or request.ideal).describe()
+            entries.append((row.lineno, request.ideal.describe(),
+                            noisy_label, request, None))
+        else:
+            request = _request_from(
+                args,
+                CircuitSpec.from_path(row.ideal),
+                CircuitSpec.from_path(row.noisy) if row.noisy else None,
+            )
+            entries.append((row.lineno, row.ideal, row.noisy or row.ideal,
+                            request, None))
+
+    def emit(position, lineno, ideal_label, noisy_label, record):
         if record["verdict"] == "ERROR":
             totals["errors"] += 1
         else:
             totals["checked"] += 1
             totals["equivalent"] += int(record["equivalent"])
+        # index = position in the manifest (error rows included), so it
+        # stays joinable to the input; engine-stream indices would skip
+        # the rows that never reached the engine.
+        record["index"] = position
         record["line"] = lineno
-        record["ideal"] = ideal_path
-        record["noisy"] = noisy_path or ideal_path
+        record["ideal"] = ideal_label
+        record["noisy"] = noisy_label or ideal_label
         print(json.dumps(record), flush=True)
 
-    if args.jobs == 1:
-        # Serial runs stay streaming: one pair lives at a time, and each
-        # record prints as soon as its check finishes.
-        for lineno, ideal_path, noisy_path, error in rows:
-            if error is not None:
-                emit(lineno, ideal_path, noisy_path,
-                     error_record("ManifestError", error))
-                continue
-            try:
-                result = session.check(*load_pair(ideal_path, noisy_path))
-                run_stats.append(result.stats)
-            except Exception as exc:
-                result = CheckError(
-                    error=str(exc), error_type=type(exc).__name__
-                )
-            emit(lineno, ideal_path, noisy_path, result.to_dict())
-    else:
-        # Parallel runs materialise circuits up front (the pool needs
-        # every task to schedule) and capture per-row load failures.
-        loaded = []  # (lineno, ideal_path, noisy_path, pair, error)
-        for lineno, ideal_path, noisy_path, error in rows:
-            pair = None
-            if error is not None:
-                error = ("ManifestError", error)
-            else:
-                try:
-                    pair = load_pair(ideal_path, noisy_path)
-                except Exception as exc:
-                    error = (type(exc).__name__, str(exc))
-            loaded.append((lineno, ideal_path, noisy_path, pair, error))
-        outcomes = session.check_many(
-            [row[3] for row in loaded if row[3] is not None],
-            jobs=args.jobs,
-            isolate_errors=True,
-        )
-        for lineno, ideal_path, noisy_path, pair, error in loaded:
-            if error is not None:
-                emit(lineno, ideal_path, noisy_path, error_record(*error))
-                continue
-            result = next(outcomes)
-            if result.verdict != "ERROR":
-                run_stats.append(result.stats)
-            emit(lineno, ideal_path, noisy_path, result.to_dict())
+    # Every check routes through the engine: error-isolating, input
+    # order preserved, fanned out to the shared pool when --jobs > 1
+    # (each record still prints as soon as its check finishes on the
+    # serial path).
+    responses = engine.check_iter(
+        entry[3] for entry in entries if entry[3] is not None
+    )
+    for position, (lineno, ideal_label, noisy_label, request,
+                   error) in enumerate(entries):
+        if error is not None:
+            emit(position, lineno, ideal_label, noisy_label, error)
+            continue
+        response = next(responses)
+        if response.ok:
+            run_stats.append(response.stats)
+        emit(position, lineno, ideal_label, noisy_label,
+             response.to_dict())
 
     wall = time.perf_counter() - start
     merged = RunStats.merge(run_stats, wall_seconds=wall)

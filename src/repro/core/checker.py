@@ -6,14 +6,18 @@ Given an ideal circuit ``C`` and a noisy implementation ``N``, decide
 .. deprecated::
     :class:`EquivalenceChecker` is a thin compatibility shim over the
     session API (:class:`~repro.core.session.CheckConfig` +
-    :class:`~repro.core.session.CheckSession`); new code should use the
-    session API directly, which adds batch checking (``check_many``) and
-    pluggable backends.  The shim keeps working and validates its
-    arguments through the same config, so typos fail at construction
-    time.
+    :class:`~repro.core.session.CheckSession`); new code should use
+    :class:`repro.api.Engine` — the typed request/response front door
+    that owns sessions, the worker pool and the shared cache — or the
+    session API directly when holding circuit objects.  The shim keeps
+    working (it now emits a :class:`DeprecationWarning` naming the
+    replacement) and validates its arguments through the same config,
+    so typos fail at construction time.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..circuits import QuantumCircuit
 from .algorithm1 import fidelity_individual
@@ -49,6 +53,14 @@ class EquivalenceChecker:
         use_local_optimisations: bool = False,
         alg1_max_noises: int = AUTO_ALG1_MAX_NOISES,
     ):
+        warnings.warn(
+            "EquivalenceChecker is deprecated; use repro.Engine (typed "
+            "CheckRequest/CheckResponse front door) or CheckSession for "
+            "in-process circuit objects — see docs/api.md for the "
+            "migration table",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         # CheckConfig validates every field (epsilon range, algorithm,
         # backend registry membership, ordering heuristic).
         self._session = CheckSession(

@@ -39,6 +39,10 @@ AUTO_ALG1_MAX_NOISES = 2
 
 _ALGORITHMS = ("auto", "alg1", "alg2", "dense")
 
+#: Execution modes of :meth:`CheckSession.run`: an epsilon-equivalence
+#: decision, or the exact fidelity (no early termination).
+RUN_MODES = ("check", "fidelity")
+
 
 @dataclass(frozen=True)
 class CheckConfig:
@@ -98,7 +102,8 @@ class CheckConfig:
         elif not isinstance(self.backend, ContractionBackend):
             raise TypeError(
                 "backend must be a registered name or a "
-                f"ContractionBackend instance, got {type(self.backend)!r}"
+                f"ContractionBackend instance, got {type(self.backend)!r}; "
+                f"registered names: {', '.join(available_backends())}"
             )
         if self.order_method not in ORDER_HEURISTICS:
             raise ValueError(
@@ -258,10 +263,7 @@ class CheckSession:
         the cache for every later process.
         """
         cfg = self.config
-        if ideal.num_qubits != noisy.num_qubits:
-            raise ValueError("circuits must have the same number of qubits")
-        if not ideal.is_unitary_circuit:
-            raise ValueError("the ideal circuit must be noiseless (unitary)")
+        self._validate_pair(ideal, noisy)
         algorithm = self.select_algorithm(noisy)
         key = None
         if self.cache is not None and self._result_cacheable():
@@ -282,23 +284,7 @@ class CheckSession:
             self.backend.plan_cache_hits if self.cache is not None else 0
         )
         result = self._fidelity_result(ideal, noisy, algorithm, cfg.epsilon)
-        equivalent = result.fidelity > 1.0 - cfg.epsilon
-        note = None
-        if not equivalent and result.is_lower_bound:
-            note = (
-                "fidelity is a truncated lower bound; rerun without early "
-                "termination or term caps for a definitive negative answer"
-            )
-        outcome = CheckResult(
-            equivalent=equivalent,
-            epsilon=cfg.epsilon,
-            fidelity=result.fidelity,
-            is_lower_bound=result.is_lower_bound,
-            stats=result.stats,
-            algorithm=algorithm,
-            backend=result.stats.backend,
-            note=note,
-        )
+        outcome = self._verdict(result, algorithm)
         if self.cache is not None:
             outcome.stats.plan_cache_hit = (
                 self.backend.plan_cache_hits - plan_hits_before
@@ -306,6 +292,34 @@ class CheckSession:
             if key is not None and not outcome.stats.timed_out:
                 self.cache.results.put(key, outcome)
         return outcome
+
+    def _verdict(
+        self, result: FidelityResult, algorithm: str
+    ) -> CheckResult:
+        """Decide against ``config.epsilon`` and assemble the record.
+
+        The one verdict-assembly path for both :meth:`check` and
+        fidelity-mode :meth:`run` — including the truncated-lower-bound
+        note, which applies whenever a capped Algorithm I run cannot
+        prove a negative.
+        """
+        equivalent = result.fidelity > 1.0 - self.config.epsilon
+        note = None
+        if not equivalent and result.is_lower_bound:
+            note = (
+                "fidelity is a truncated lower bound; rerun without early "
+                "termination or term caps for a definitive negative answer"
+            )
+        return CheckResult(
+            equivalent=equivalent,
+            epsilon=self.config.epsilon,
+            fidelity=result.fidelity,
+            is_lower_bound=result.is_lower_bound,
+            stats=result.stats,
+            algorithm=algorithm,
+            backend=result.stats.backend,
+            note=note,
+        )
 
     def check_many(
         self,
@@ -373,8 +387,56 @@ class CheckSession:
         No early termination is applied (Algorithm I sums every term up
         to the configured caps).
         """
+        return self.fidelity_result(ideal, noisy).fidelity
+
+    def fidelity_result(
+        self, ideal: QuantumCircuit, noisy: QuantumCircuit
+    ) -> FidelityResult:
+        """:meth:`fidelity` plus the run's stats and lower-bound flag.
+
+        Validates the pair like every other entry point — a qubit
+        mismatch fails with the clean ValueError, not a shape error
+        deep inside a contraction.
+        """
+        self._validate_pair(ideal, noisy)
         algorithm = self.select_algorithm(noisy)
-        return self._fidelity_result(ideal, noisy, algorithm, None).fidelity
+        return self._fidelity_result(ideal, noisy, algorithm, None)
+
+    def run(
+        self,
+        ideal: QuantumCircuit,
+        noisy: QuantumCircuit,
+        mode: str = "check",
+    ) -> CheckResult:
+        """One uniform entry point over :meth:`check` and :meth:`fidelity`.
+
+        ``mode="check"`` is exactly :meth:`check`.  ``mode="fidelity"``
+        computes the exact fidelity (no epsilon early termination) and
+        wraps it in the same :class:`CheckResult` shape — the verdict is
+        still decided against ``config.epsilon`` — so request-driven
+        callers (:class:`repro.api.Engine`, the batch workers) handle
+        one result type.  Fidelity-mode results are never cached: their
+        no-early-termination semantics are not captured by the config
+        fingerprint the result cache keys on.
+        """
+        if mode == "check":
+            return self.check(ideal, noisy)
+        if mode != "fidelity":
+            raise ValueError(
+                f"unknown run mode {mode!r}; choose from {list(RUN_MODES)}"
+            )
+        result = self.fidelity_result(ideal, noisy)
+        return self._verdict(result, result.stats.algorithm)
+
+    @staticmethod
+    def _validate_pair(
+        ideal: QuantumCircuit, noisy: QuantumCircuit
+    ) -> None:
+        """Shared preconditions of every run mode."""
+        if ideal.num_qubits != noisy.num_qubits:
+            raise ValueError("circuits must have the same number of qubits")
+        if not ideal.is_unitary_circuit:
+            raise ValueError("the ideal circuit must be noiseless (unitary)")
 
     def _fidelity_result(
         self,

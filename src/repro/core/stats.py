@@ -13,6 +13,13 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Iterable, List, Optional
 
+#: Version tag of the JSON wire schema emitted by ``CheckResult.to_dict``,
+#: ``CheckError.to_dict`` and the :mod:`repro.api` request/response types.
+#: The CLI's ``check --json`` and ``batch`` records carry the same tag, so
+#: CLI and API payloads cannot drift apart.  Bump it only on a breaking
+#: field change; additive fields keep the version.
+SCHEMA_VERSION = "1"
+
 
 @dataclass
 class RunStats:
@@ -164,6 +171,10 @@ class CheckError:
     error_type: str = "Exception"
     #: position of the failed item in the batch input (None = unknown)
     index: Optional[int] = None
+    #: machine-readable failure code from the :mod:`repro.api.errors`
+    #: taxonomy ("check_failed" covers an exception inside the check
+    #: itself; request-level failures carry their own codes)
+    error_code: str = "check_failed"
 
     #: an errored check never attests equivalence
     equivalent: bool = field(default=False, init=False)
@@ -174,12 +185,14 @@ class CheckError:
         return "ERROR"
 
     def to_dict(self) -> dict:
-        """Plain-dict form (JSON-safe)."""
+        """Wire-schema error record (JSON-safe, versioned)."""
         return {
+            "schema_version": SCHEMA_VERSION,
             "equivalent": False,
             "verdict": self.verdict,
             "error": self.error,
             "error_type": self.error_type,
+            "error_code": self.error_code,
             "index": self.index,
         }
 
@@ -208,8 +221,16 @@ class CheckResult:
         return "EQUIVALENT" if self.equivalent else "NOT_EQUIVALENT"
 
     def to_dict(self) -> dict:
-        """Plain-dict form (JSON-safe), stats nested under ``"stats"``."""
+        """Wire-schema result record (JSON-safe, versioned).
+
+        This dict *is* the version-``1`` response wire schema: the CLI's
+        ``check --json`` and ``batch`` records and the
+        :class:`repro.api.CheckResponse` payload are all this exact
+        shape (the CLI adds its ``line``/``ideal``/``noisy`` envelope
+        fields on batch records).
+        """
         return {
+            "schema_version": SCHEMA_VERSION,
             "equivalent": self.equivalent,
             "verdict": self.verdict,
             "epsilon": self.epsilon,

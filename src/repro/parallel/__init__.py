@@ -21,7 +21,7 @@ state (backend instances, sessions, TDD managers, plan caches) warm in
 module-global caches inside each worker process.
 """
 
-from .batch import iter_parallel_checks
+from .batch import iter_parallel_checks, iter_parallel_items
 from .executors import (
     CHUNKS_PER_JOB,
     ProcessSliceExecutor,
@@ -38,5 +38,6 @@ __all__ = [
     "SliceExecutor",
     "chunk_assignments",
     "iter_parallel_checks",
+    "iter_parallel_items",
     "make_executor",
 ]

@@ -20,8 +20,8 @@ serial path.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Iterator, Tuple, Union
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Iterable, Iterator, Optional, Tuple, Union
 
 from ..backends import ContractionBackend
 from ..core.stats import CheckError, CheckResult
@@ -30,11 +30,21 @@ from .worker import run_check_item
 BatchOutcome = Union[CheckResult, CheckError]
 
 
+def _reject_instance_backend(config) -> None:
+    if isinstance(config.backend, ContractionBackend):
+        raise ValueError(
+            "parallel check_many cannot ship a live backend instance to "
+            "worker processes; configure the backend by registry name "
+            "(e.g. backend='tdd') instead"
+        )
+
+
 def iter_parallel_checks(
     config,
     pairs: Iterable[Tuple[object, object]],
     jobs: int,
     isolate_errors: bool = False,
+    pool: Optional[Executor] = None,
 ) -> Iterator[BatchOutcome]:
     """Run every ``(ideal, noisy)`` pair under ``config`` on ``jobs`` workers.
 
@@ -42,31 +52,54 @@ def iter_parallel_checks(
     materialisation of ``pairs`` happen *at call time* (this is a plain
     function returning a generator, not itself a generator), so a bad
     config fails at the call site and later mutation of the input
-    iterable cannot change what runs.  The pool is created lazily and
-    lives exactly as long as the returned generator.
+    iterable cannot change what runs.  With no ``pool`` one is created
+    lazily and lives exactly as long as the returned generator; a caller
+    supplying its own pool (the :class:`repro.api.Engine` reuses one
+    across calls) keeps ownership — it is never shut down here.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
-    if isinstance(config.backend, ContractionBackend):
-        raise ValueError(
-            "parallel check_many cannot ship a live backend instance to "
-            "worker processes; configure the backend by registry name "
-            "(e.g. backend='tdd') instead"
-        )
-    items = list(pairs)
-    return _drain_pool(config, items, jobs, isolate_errors)
+    _reject_instance_backend(config)
+    items = [
+        (config, ideal, noisy, "check") for ideal, noisy in pairs
+    ]
+    return iter_parallel_items(items, jobs, isolate_errors, pool)
+
+
+def iter_parallel_items(
+    items: Iterable[Tuple[object, object, object, str]],
+    jobs: int,
+    isolate_errors: bool = False,
+    pool: Optional[Executor] = None,
+) -> Iterator[BatchOutcome]:
+    """Heterogeneous form: one ``(config, ideal, noisy, mode)`` per item.
+
+    Each item carries its own frozen config and run mode (worker
+    sessions are cached per config, so mixed-config batches still reuse
+    warm state for repeated configs).  The result cache a config may
+    enable keys each worker lookup off the item's request fingerprint
+    — circuits plus config — so identical items dedup across the pool's
+    shared disk tier.
+    """
+    items = list(items)
+    for config, _, _, _ in items:
+        _reject_instance_backend(config)
+    return _drain_pool(items, jobs, isolate_errors, pool)
 
 
 def _drain_pool(
-    config, items, jobs: int, isolate_errors: bool
+    items, jobs: int, isolate_errors: bool, pool: Optional[Executor]
 ) -> Iterator[BatchOutcome]:
     if not items:
         return
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+    own_pool = pool is None
+    if own_pool:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
+    try:
         futures = [
             pool.submit(run_check_item, config, index, ideal, noisy,
-                        isolate_errors)
-            for index, (ideal, noisy) in enumerate(items)
+                        isolate_errors, mode)
+            for index, (config, ideal, noisy, mode) in enumerate(items)
         ]
         # Futures are consumed in submission order, so results stream in
         # input order no matter which worker finishes first.
@@ -79,3 +112,6 @@ def _drain_pool(
                 )
             else:
                 yield result
+    finally:
+        if own_pool:
+            pool.shutdown()

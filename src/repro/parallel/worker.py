@@ -116,6 +116,7 @@ def run_check_item(
     ideal,
     noisy,
     isolate_errors: bool,
+    mode: str = "check",
 ) -> Tuple[int, Optional[object], Optional[Tuple[str, str]]]:
     """Run one equivalence check in a worker process.
 
@@ -123,11 +124,13 @@ def run_check_item(
     ``isolate_errors`` — ``(index, None, (error_type, message))`` on
     failure, so one bad item surfaces as a record instead of poisoning
     the whole pool.  Without ``isolate_errors`` the exception propagates
-    through the future to the parent.
+    through the future to the parent.  ``mode`` follows
+    :meth:`~repro.core.session.CheckSession.run` ("check"/"fidelity"),
+    so request-driven batches can mix both.
     """
     session = session_for_config(config)
     try:
-        return index, session.check(ideal, noisy), None
+        return index, session.run(ideal, noisy, mode), None
     except Exception as exc:
         if not isolate_errors:
             raise

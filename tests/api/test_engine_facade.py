@@ -1,0 +1,303 @@
+"""Unit tests for the Engine facade."""
+
+import pytest
+
+from repro import (
+    CheckConfig,
+    CheckRequest,
+    CheckSession,
+    CircuitSpec,
+    Engine,
+    NoiseSpec,
+    Verdict,
+    qft,
+)
+from repro.api import ConfigError, JobNotFoundError, ReproError
+from repro.backends import NumpyEinsumBackend
+from repro.cache.fingerprint import request_fingerprint
+from repro.circuits import qasm
+
+
+def library_request(num_qubits=3, seed=0, **kwargs):
+    defaults = dict(
+        ideal=CircuitSpec.from_library("qft", num_qubits=num_qubits),
+        noise=NoiseSpec(noises=2, seed=seed),
+        epsilon=0.05,
+    )
+    defaults.update(kwargs)
+    return CheckRequest(**defaults)
+
+
+class TestCheck:
+    def test_check_agrees_with_bare_session(self):
+        engine = Engine()
+        response = engine.check(library_request())
+        ideal = qft(3)
+        noisy = NoiseSpec(noises=2, seed=0).apply(ideal)
+        direct = CheckSession(CheckConfig(epsilon=0.05)).check(ideal, noisy)
+        assert response.ok
+        assert response.equivalent == direct.equivalent
+        assert abs(response.fidelity - direct.fidelity) < 1e-12
+
+    def test_request_config_overrides_base(self):
+        engine = Engine(CheckConfig(backend="tdd"))
+        response = engine.check(
+            library_request(config={"backend": "einsum"})
+        )
+        assert response.result.backend == "einsum"
+
+    def test_typed_errors_raise_from_check(self):
+        with pytest.raises(ReproError) as err:
+            Engine().check(
+                CheckRequest(ideal=CircuitSpec.from_path("/missing.qasm"))
+            )
+        assert err.value.code == "circuit_load_failed"
+
+    def test_fidelity_mode(self):
+        engine = Engine()
+        request = library_request(mode="fidelity")
+        response = engine.check(request)
+        assert response.ok
+        assert 0.9 < response.fidelity <= 1.0
+        assert engine.fidelity(library_request()) == response.fidelity
+
+    def test_fidelity_mode_keeps_the_lower_bound_note(self):
+        """A capped alg1 fidelity run that cannot prove a negative
+        carries the same guidance note as check mode."""
+        response = Engine().check(CheckRequest(
+            ideal=CircuitSpec.from_library("qft", num_qubits=3),
+            noise=NoiseSpec(noises=2, p=0.5, seed=0),  # heavy noise
+            mode="fidelity",
+            epsilon=0.4,
+            config={"algorithm": "alg1", "alg1_max_terms": 1},
+        ))
+        assert response.ok
+        assert not response.equivalent
+        assert response.result.is_lower_bound
+        assert "lower bound" in response.result.note
+
+    def test_sessions_are_shared_per_config(self):
+        engine = Engine()
+        engine.check(library_request(seed=0))
+        engine.check(library_request(seed=1))
+        assert len(engine._sessions) == 1
+        engine.check(library_request(config={"backend": "einsum"}))
+        assert len(engine._sessions) == 2
+
+    def test_session_memo_is_bounded(self):
+        """A service sweeping epsilons must not retain warm backend
+        state per distinct config forever."""
+        from repro.api.engine import _SESSION_MEMO_ENTRIES
+
+        engine = Engine()
+        request = library_request(num_qubits=2)
+        for i in range(_SESSION_MEMO_ENTRIES + 8):
+            engine.check(library_request(
+                num_qubits=2, epsilon=0.05 + i * 0.001
+            ))
+        assert len(engine._resolved) <= _SESSION_MEMO_ENTRIES
+        assert len(engine._sessions) <= _SESSION_MEMO_ENTRIES
+        assert engine.check(request).ok  # still serving
+
+    def test_circuit_memo_reuses_pure_specs(self):
+        engine = Engine()
+        spec = CircuitSpec.from_library("qft", num_qubits=3)
+        first = engine._circuit(spec)
+        again = engine._circuit(CircuitSpec.from_library("qft", num_qubits=3))
+        assert first is again
+
+    def test_live_circuit_specs_skip_serialisation(self):
+        ideal = qft(2)
+        noisy = NoiseSpec(noises=1, seed=0).apply(ideal)
+        response = Engine().check(
+            CheckRequest(
+                ideal=CircuitSpec.from_circuit(ideal),
+                noisy=CircuitSpec.from_circuit(noisy),
+                epsilon=0.05,
+            )
+        )
+        assert response.ok
+
+
+class TestCheckIter:
+    def test_serial_is_streaming_and_ordered(self):
+        engine = Engine()
+        requests = [library_request(seed=s) for s in range(3)]
+        iterator = engine.check_iter(iter(requests))
+        responses = list(iterator)
+        assert [r.index for r in responses] == [0, 1, 2]
+        assert all(r.ok for r in responses)
+
+    def test_error_isolation_keeps_positions(self):
+        engine = Engine()
+        bad = CheckRequest(ideal=CircuitSpec.from_path("/missing.qasm"))
+        out = list(engine.check_iter([library_request(), bad,
+                                      library_request(seed=1)]))
+        assert [r.verdict for r in out] == [
+            Verdict.EQUIVALENT, Verdict.ERROR, Verdict.EQUIVALENT,
+        ]
+        assert out[1].error_code == "circuit_load_failed"
+        assert out[1].index == 1
+
+    def test_parallel_matches_serial(self):
+        requests = [library_request(seed=s, num_qubits=2) for s in range(4)]
+        serial = [r.fidelity for r in Engine().check_iter(requests)]
+        with Engine(jobs=2) as engine:
+            parallel = list(engine.check_iter(requests))
+            # the pool is shared across calls
+            again = list(engine.check_iter(requests[:2]))
+        assert [r.fidelity for r in parallel] == serial
+        assert [r.index for r in parallel] == [0, 1, 2, 3]
+        assert [r.fidelity for r in again] == serial[:2]
+
+    def test_parallel_isolates_bad_rows(self):
+        bad = CheckRequest(ideal=CircuitSpec.from_path("/missing.qasm"))
+        with Engine(jobs=2) as engine:
+            out = list(engine.check_iter(
+                [library_request(num_qubits=2), bad]
+            ))
+        assert [r.verdict for r in out] == [Verdict.EQUIVALENT, Verdict.ERROR]
+
+    def test_parallel_rejects_instance_backends(self):
+        request = library_request(num_qubits=2)
+        request = CheckRequest(
+            ideal=request.ideal, noise=request.noise, epsilon=0.05,
+        )
+        with Engine(CheckConfig(backend=NumpyEinsumBackend()), jobs=2) as engine:
+            out = list(engine.check_iter([request]))
+        assert out[0].verdict == Verdict.ERROR
+        assert out[0].error_code == "invalid_config"
+        assert "tdd" in str(out[0].error)  # names the registry choices
+
+
+class TestJobs:
+    def test_submit_and_result(self):
+        engine = Engine()
+        handle = engine.submit(library_request())
+        assert engine.pending_jobs() == (handle.id,)
+        response = engine.result(handle)
+        assert response.ok
+
+    def test_each_job_collected_once(self):
+        engine = Engine()
+        handle = engine.submit(library_request())
+        engine.result(handle)
+        with pytest.raises(JobNotFoundError):
+            engine.result(handle)
+        with pytest.raises(JobNotFoundError):
+            engine.result("job-999")
+
+    def test_submit_captures_resolution_errors(self):
+        engine = Engine()
+        handle = engine.submit(
+            CheckRequest(ideal=CircuitSpec.from_path("/missing.qasm"))
+        )
+        response = engine.result(handle)
+        assert response.verdict == Verdict.ERROR
+        assert response.error_code == "circuit_load_failed"
+
+    def test_pool_backed_jobs(self):
+        with Engine(jobs=2) as engine:
+            handles = [
+                engine.submit(library_request(seed=s, num_qubits=2))
+                for s in range(2)
+            ]
+            results = [engine.result(h) for h in handles]
+        assert all(r.ok for r in results)
+
+    def test_result_accepts_raw_ids(self):
+        engine = Engine()
+        handle = engine.submit(library_request())
+        assert engine.result(handle.id).ok
+
+    def test_timed_out_jobs_stay_collectable(self):
+        """Regression: py3.10's concurrent.futures.TimeoutError is not
+        the builtin; a timeout must re-shelve the job either way."""
+        import concurrent.futures
+
+        class StuckFuture:
+            def result(self, timeout=None):
+                raise concurrent.futures.TimeoutError()
+
+        engine = Engine()
+        handle = engine.submit(library_request())
+        engine._jobs_pending[handle.id] = (
+            handle.request, ("future", StuckFuture())
+        )
+        with pytest.raises(concurrent.futures.TimeoutError):
+            engine.result(handle, timeout=0.01)
+        assert handle.id in engine.pending_jobs()
+
+
+class TestCacheSharing:
+    def test_one_cache_across_sessions_and_requests(self, tmp_path):
+        engine = Engine(cache=True, cache_dir=str(tmp_path / "cache"))
+        cold = engine.check(library_request())
+        warm = engine.check(library_request())
+        assert cold.stats.result_cache_hit == 0
+        assert warm.stats.result_cache_hit == 1
+        assert warm.fidelity == cold.fidelity
+        # different config -> different session, same cache object
+        engine.check(library_request(config={"backend": "einsum"}))
+        sessions = list(engine._sessions.values())
+        assert len(sessions) == 2
+        assert sessions[0].cache is sessions[1].cache is engine.cache
+
+    def test_workers_share_the_disk_tier(self, tmp_path):
+        requests = [library_request(seed=s, num_qubits=2) for s in range(2)]
+        with Engine(jobs=2, cache=True,
+                    cache_dir=str(tmp_path / "cache")) as engine:
+            list(engine.check_iter(requests))
+            warm = list(engine.check_iter(requests))
+        assert [r.stats.result_cache_hit for r in warm] == [1, 1]
+
+    def test_fingerprint_is_the_result_cache_key(self, tmp_path):
+        engine = Engine(cache=True, cache_dir=str(tmp_path / "cache"))
+        request = library_request()
+        fingerprint = engine.fingerprint(request)
+        config, ideal, noisy = engine._resolve(request)
+        assert fingerprint == request_fingerprint(ideal, noisy, config)
+        assert fingerprint == engine.cache.results.key_for(
+            ideal, noisy, config
+        )
+        # equal queries fingerprint equal; different epsilon does not
+        assert engine.fingerprint(library_request()) == fingerprint
+        assert engine.fingerprint(
+            library_request(epsilon=0.2)
+        ) != fingerprint
+        # a fidelity-mode query is a different query (no early
+        # termination) and must never alias the check-mode key
+        assert engine.fingerprint(
+            library_request(mode="fidelity")
+        ) != fingerprint
+
+    def test_cache_knobs_inherit_from_base_config(self, tmp_path):
+        engine = Engine(
+            CheckConfig(cache=True, cache_dir=str(tmp_path / "cache"))
+        )
+        assert engine.cache is not None
+        # sessions never open private caches
+        assert engine.config.cache is False
+
+
+class TestValidation:
+    def test_jobs_validated(self):
+        with pytest.raises(ValueError):
+            Engine(jobs=0)
+
+    def test_bad_override_is_config_error_listing_choices(self):
+        with pytest.raises(ConfigError) as err:
+            Engine().check(library_request(config={"planner": "psychic"}))
+        assert "greedy" in str(err.value)
+
+    def test_qasm_loading(self, tmp_path):
+        path = tmp_path / "c.qasm"
+        qasm.dump(qft(2), path)
+        response = Engine().check(
+            CheckRequest(
+                ideal=CircuitSpec.from_path(path),
+                noise=NoiseSpec(noises=1, seed=0),
+                epsilon=0.05,
+            )
+        )
+        assert response.ok

@@ -9,6 +9,32 @@ from repro.library import qft
 from repro.noise import bit_flip, depolarizing, insert_random_noise
 
 
+class TestDeprecation:
+    def test_construction_warns_and_names_engine(self):
+        with pytest.warns(DeprecationWarning, match="repro.Engine"):
+            EquivalenceChecker()
+
+    def test_validation_errors_name_the_choices(self):
+        """Satellite: every config validation error lists valid values."""
+        from repro.backends.base import resolve_backend
+        from repro.core import CheckConfig
+
+        with pytest.raises(ValueError, match="alg1"):
+            CheckConfig(algorithm="bogus")
+        with pytest.raises(ValueError, match="tdd"):
+            CheckConfig(backend="bogus")
+        with pytest.raises(TypeError, match="tdd"):
+            CheckConfig(backend=42)
+        with pytest.raises(ValueError, match="tree_decomposition"):
+            CheckConfig(order_method="bogus")
+        with pytest.raises(ValueError, match="greedy"):
+            CheckConfig(planner="bogus")
+        with pytest.raises(ValueError, match="tdd"):
+            resolve_backend("bogus")
+        with pytest.raises(TypeError, match="tdd"):
+            resolve_backend(42)
+
+
 class TestDispatch:
     def test_auto_prefers_alg1_for_few_noises(self):
         checker = EquivalenceChecker()

@@ -209,3 +209,20 @@ class TestSerialisation:
         assert stats["backend"] == "tdd"
         assert stats["terms_total"] >= stats["terms_computed"] >= 1
         json.dumps(stats)  # JSON-safe
+
+
+class TestFidelityResultValidation:
+    """fidelity_result validates the pair like every other entry point."""
+
+    def test_qubit_mismatch_rejected(self):
+        from repro import CheckSession, qft
+
+        with pytest.raises(ValueError, match="same number of qubits"):
+            CheckSession().fidelity_result(qft(3), qft(2))
+
+    def test_noisy_ideal_rejected(self):
+        from repro import CheckSession, insert_random_noise, qft
+
+        noisy = insert_random_noise(qft(2), 1, seed=0)
+        with pytest.raises(ValueError, match="unitary"):
+            CheckSession().fidelity(noisy, noisy)

@@ -479,3 +479,185 @@ class TestCacheCommand:
     def test_cache_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache"])
+
+
+class TestWireSchemaOutput:
+    """CLI payloads are the version-1 wire schema — no CLI/API drift."""
+
+    def test_check_json_carries_schema_version(self, qasm_file, capsys):
+        from repro import SCHEMA_VERSION
+
+        main([
+            "check", qasm_file, "--noises", "1", "--epsilon", "0.05",
+            "--json",
+        ])
+        record = json.loads(capsys.readouterr().out)
+        assert record["schema_version"] == SCHEMA_VERSION
+
+    def test_batch_records_carry_schema_version(self, tmp_path, capsys):
+        from repro import SCHEMA_VERSION
+
+        path = tmp_path / "qft2.qasm"
+        qasm.dump(qft(2), path)
+        manifest = tmp_path / "manifest.txt"
+        manifest.write_text(f"{path}\nmissing.qasm\n")
+        main(["batch", str(manifest), "--noises", "1", "--epsilon", "0.05"])
+        records = [json.loads(line) for line in
+                   capsys.readouterr().out.strip().splitlines()]
+        assert [r["schema_version"] for r in records] == [SCHEMA_VERSION] * 2
+        assert records[1]["error_code"] == "circuit_load_failed"
+
+    def test_check_json_equals_engine_payload(self, qasm_file, capsys):
+        """The CLI emits exactly what the Engine emits."""
+        from repro import CheckRequest, CircuitSpec, Engine, NoiseSpec
+
+        main([
+            "check", qasm_file, "--noises", "2", "--epsilon", "0.05",
+            "--algorithm", "alg2", "--json",
+        ])
+        record = json.loads(capsys.readouterr().out)
+        response = Engine().check(CheckRequest(
+            ideal=CircuitSpec.from_path(qasm_file),
+            noise=NoiseSpec(noises=2, seed=0),
+            epsilon=0.05,
+            config={"algorithm": "alg2"},
+        ))
+        direct = response.to_dict()
+        for volatile in ("time_seconds",):
+            record[volatile] = direct[volatile] = 0.0
+            record["stats"][volatile] = direct["stats"][volatile] = 0.0
+        record["stats"]["cpu_seconds"] = direct["stats"]["cpu_seconds"] = 0.0
+        assert record == direct
+
+    def test_missing_file_exits_2_with_typed_error(self, capsys):
+        code = main(["check", "/definitely/missing.qasm"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "circuit_load_failed" in err
+
+
+class TestJsonManifestRows:
+    @pytest.fixture
+    def mixed_manifest(self, tmp_path, qasm_file):
+        inline = qasm.dumps(qft(2))
+        rows = [
+            qasm_file,  # classic path row, CLI flags apply
+            json.dumps({  # wire-schema row: library spec, own epsilon
+                "ideal": {"library": "qft", "params": {"num_qubits": 2}},
+                "epsilon": 0.1,
+            }),
+            json.dumps({  # inline QASM + noise off despite CLI flags
+                "ideal": {"qasm": inline},
+                "noise": None,
+            }),
+            json.dumps({"ideal": {"library": "unheard_of"}}),  # bad library
+            json.dumps({"ideal": {"qasm": inline}, "bogus_field": 1}),
+            "{not json",
+        ]
+        manifest = tmp_path / "mixed.jsonl"
+        manifest.write_text("".join(row + "\n" for row in rows))
+        return str(manifest)
+
+    def test_mixed_rows_stream_wire_records(self, mixed_manifest, qasm_file,
+                                            capsys):
+        code = main([
+            "batch", mixed_manifest, "--noises", "1", "--epsilon", "0.05",
+        ])
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in
+                   captured.out.strip().splitlines()]
+        assert code == 2  # bad rows present
+        assert [r["verdict"] for r in records] == [
+            "EQUIVALENT", "EQUIVALENT", "EQUIVALENT",
+            "ERROR", "ERROR", "ERROR",
+        ]
+        # path row keeps its path label; JSON rows get spec labels
+        assert records[0]["ideal"] == qasm_file
+        assert records[1]["ideal"] == "<library:qft>"
+        assert records[2]["ideal"] == "<inline-qasm>"
+        # row-level fields beat CLI flags
+        assert records[1]["epsilon"] == 0.1
+        # noise: null switches the CLI noise off -> exact equivalence
+        assert records[2]["fidelity"] == pytest.approx(1.0, abs=1e-12)
+        # typed error codes per failure kind
+        assert records[3]["error_code"] == "invalid_circuit_spec"
+        assert records[4]["error_code"] == "unknown_field"
+        assert records[5]["error_type"] == "ManifestError"
+        assert [r["line"] for r in records] == [1, 2, 3, 4, 5, 6]
+        # index counts manifest rows (errors included), joinable to input
+        assert [r["index"] for r in records] == [0, 1, 2, 3, 4, 5]
+
+    def test_json_rows_inherit_cli_flags(self, tmp_path, capsys):
+        row = {"ideal": {"library": "qft", "params": {"num_qubits": 2}}}
+        manifest = tmp_path / "one.jsonl"
+        manifest.write_text(json.dumps(row) + "\n")
+        main([
+            "batch", str(manifest), "--noises", "1", "--epsilon", "0.05",
+            "--backend", "einsum",
+        ])
+        record = json.loads(capsys.readouterr().out.strip())
+        assert record["backend"] == "einsum"
+        assert record["epsilon"] == 0.05
+        assert record["stats"]["terms_total"] >= 1  # noise was applied
+
+    def test_json_rows_work_under_jobs(self, tmp_path, capsys):
+        rows = [
+            json.dumps({
+                "ideal": {"library": "qft", "params": {"num_qubits": 2}},
+                "noise": {"noises": 1, "seed": seed},
+            })
+            for seed in range(2)
+        ]
+        manifest = tmp_path / "par.jsonl"
+        manifest.write_text("".join(row + "\n" for row in rows))
+        flags = ["batch", str(manifest), "--epsilon", "0.05"]
+        code = main(flags)
+        serial = [json.loads(line)["fidelity"] for line in
+                  capsys.readouterr().out.strip().splitlines()]
+        code_parallel = main(flags + ["--jobs", "2"])
+        parallel = [json.loads(line)["fidelity"] for line in
+                    capsys.readouterr().out.strip().splitlines()]
+        assert code == code_parallel == 0
+        assert parallel == serial
+
+    def test_read_manifest_rejects_json_rows(self, tmp_path):
+        manifest = tmp_path / "j.jsonl"
+        manifest.write_text('{"ideal": {"library": "qft"}}\n')
+        with pytest.raises(ValueError, match="JSON request rows"):
+            list(read_manifest(str(manifest)))
+
+    def test_fidelity_mode_rows(self, tmp_path, capsys):
+        row = {
+            "ideal": {"library": "qft", "params": {"num_qubits": 2}},
+            "noise": {"noises": 1, "seed": 0},
+            "mode": "fidelity",
+        }
+        manifest = tmp_path / "f.jsonl"
+        manifest.write_text(json.dumps(row) + "\n")
+        code = main(["batch", str(manifest), "--epsilon", "0.05"])
+        record = json.loads(capsys.readouterr().out.strip())
+        assert code == 0
+        assert 0.9 < record["fidelity"] <= 1.0
+
+
+class TestBadFlagErrors:
+    """Invalid noise flags take the typed-error exit, not a traceback."""
+
+    def test_check_bad_noises_flag(self, qasm_file, capsys):
+        code = main(["check", qasm_file, "--noises", "-1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "invalid_noise_spec" in err
+
+    def test_fidelity_bad_noises_flag(self, qasm_file, capsys):
+        code = main(["fidelity", qasm_file, "--noises", "-1"])
+        assert code == 2
+        assert "invalid_noise_spec" in capsys.readouterr().err
+
+    def test_batch_bad_noises_flag(self, tmp_path, qasm_file, capsys):
+        manifest = tmp_path / "m.txt"
+        manifest.write_text(f"{qasm_file}\n")
+        code = main(["batch", str(manifest), "--noises", "-1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "invalid_noise_spec" in captured.err
