@@ -1,0 +1,347 @@
+"""Latency benchmark of the HTTP service against the bare engine.
+
+Hosts a real :class:`repro.service.ReproService` on a loopback socket
+(background event-loop thread) and measures, per scenario, p50/p99
+latency and throughput:
+
+``unary_warm``
+    the same request repeated over one keep-alive connection with the
+    result cache hot — every request is answered by a cache lookup, so
+    this isolates the HTTP + JSON + scheduling overhead of the service.
+``unary_cold``
+    each request a fresh noise seed (full contraction every time).
+``batch``
+    one ``POST /v1/batch`` NDJSON body, rows/second end to end.
+``saturated``
+    many client threads against ``--max-inflight 2``: admission control
+    must answer the overflow with 503 + Retry-After, fast, while the
+    admitted requests complete — total, accepted and rejected counts
+    plus the p99 of the *rejections* are recorded (a slow 503 would
+    defeat its purpose).
+
+The ``overhead`` section times bare ``Engine.respond`` on the identical
+warm request and records ``service_p50 / bare_p50`` (target < 1.10,
+i.e. <10% added wall time).  Context rows make the number honest: a
+warm-cache check is sub-millisecond, so the loopback-TCP + HTTP floor
+(``floor_p50_ms``, measured on ``/healthz``) dominates the warm ratio —
+the absolute added latency (``added_ms``) and the same ratio on the
+cold path (``overhead_ratio_cold``, where real contraction amortises
+the transport) tell the real story.  Numbers land in
+``BENCH_service.json`` next to the other benchmark records so future
+PRs have a trajectory.
+
+Usage::
+
+    python benchmarks/bench_service.py
+    python benchmarks/bench_service.py --warm 200 --cold 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import io
+import json
+import os
+import statistics
+import sys
+import threading
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from repro import CheckRequest, CircuitSpec, Engine, NoiseSpec  # noqa: E402
+from repro.service import ServiceThread  # noqa: E402
+
+#: Warm-path workload: large enough that the cache-hit fingerprint is
+#: real work, small enough that the cold path stays interactive.
+NUM_QUBITS = 4
+NUM_NOISES = 4
+EPSILON = 0.05
+
+
+def wire_request(seed: int = 0) -> bytes:
+    return json.dumps({
+        "schema_version": "1",
+        "ideal": {"library": "qft", "params": {"num_qubits": NUM_QUBITS}},
+        "noise": {"noises": NUM_NOISES, "seed": seed},
+        "epsilon": EPSILON,
+    }).encode()
+
+
+def typed_request(seed: int = 0) -> CheckRequest:
+    return CheckRequest(
+        ideal=CircuitSpec.from_library("qft", num_qubits=NUM_QUBITS),
+        noise=NoiseSpec(noises=NUM_NOISES, seed=seed),
+        epsilon=EPSILON,
+    )
+
+
+def percentiles(samples):
+    ordered = sorted(samples)
+    return {
+        "p50_ms": statistics.median(ordered) * 1000.0,
+        "p99_ms": ordered[min(len(ordered) - 1,
+                              int(len(ordered) * 0.99))] * 1000.0,
+        "mean_ms": statistics.fmean(ordered) * 1000.0,
+        "n": len(ordered),
+    }
+
+
+def timed_post(conn, path, body, headers=None):
+    start = time.perf_counter()
+    conn.request("POST", path, body=body, headers=headers or {})
+    response = conn.getresponse()
+    response.read()
+    return time.perf_counter() - start, response.status
+
+
+def bench_unary(server, bodies):
+    """Sequential requests over one keep-alive connection."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=120)
+    try:
+        timed_post(conn, "/v1/check", bodies[0])  # connection warmup
+        samples = []
+        start = time.perf_counter()
+        for body in bodies:
+            elapsed, status = timed_post(conn, "/v1/check", body)
+            assert status == 200, f"unexpected status {status}"
+            samples.append(elapsed)
+        wall = time.perf_counter() - start
+    finally:
+        conn.close()
+    report = percentiles(samples)
+    report["req_per_s"] = len(samples) / wall
+    return report
+
+
+def bench_floor(server, repeats=200):
+    """The loopback-TCP + HTTP round-trip floor (`/healthz`): transport
+    cost every remote caller pays before any engine work."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            response.read()
+            samples.append(time.perf_counter() - start)
+    finally:
+        conn.close()
+    return percentiles(samples)
+
+
+def bench_batch(server, rows):
+    body = b"".join(wire_request(seed) + b"\n" for seed in range(rows))
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=600)
+    try:
+        start = time.perf_counter()
+        conn.request("POST", "/v1/batch", body=body)
+        response = conn.getresponse()
+        records = [json.loads(line) for line in response.read().splitlines()]
+        wall = time.perf_counter() - start
+    finally:
+        conn.close()
+    assert len(records) == rows
+    assert all(r["verdict"] != "ERROR" for r in records)
+    return {
+        "rows": rows,
+        "wall_seconds": wall,
+        "rows_per_s": rows / wall,
+    }
+
+
+def bench_saturated(threads_n, requests_each):
+    """Hammer a max_inflight=2 server; overflow must 503 fast."""
+    engine = Engine(cache=True)
+    ok, rejected, reject_samples = [], [], []
+    lock = threading.Lock()
+    with ServiceThread(
+        engine, log_stream=io.StringIO(), max_inflight=2
+    ) as server:
+        # warm the cache so accepted requests are quick
+        conn = http.client.HTTPConnection(server.host, server.port)
+        timed_post(conn, "/v1/check", wire_request(0))
+        conn.close()
+
+        def client():
+            conn = http.client.HTTPConnection(
+                server.host, server.port, timeout=120
+            )
+            try:
+                for _ in range(requests_each):
+                    elapsed, status = timed_post(
+                        conn, "/v1/check", wire_request(0)
+                    )
+                    with lock:
+                        if status == 200:
+                            ok.append(elapsed)
+                        else:
+                            assert status == 503, status
+                            rejected.append(elapsed)
+                            reject_samples.append(elapsed)
+            finally:
+                conn.close()
+
+        start = time.perf_counter()
+        workers = [
+            threading.Thread(target=client) for _ in range(threads_n)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        wall = time.perf_counter() - start
+    total = len(ok) + len(rejected)
+    report = {
+        "client_threads": threads_n,
+        "requests_total": total,
+        "accepted_200": len(ok),
+        "rejected_503": len(rejected),
+        "wall_seconds": wall,
+        "req_per_s": total / wall,
+    }
+    if reject_samples:
+        report["rejection"] = percentiles(reject_samples)
+    return report
+
+
+def bench_bare_engine(engine, request, repeats):
+    engine.respond(request)  # warm
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        response = engine.respond(request)
+        samples.append(time.perf_counter() - start)
+        assert response.ok
+    return percentiles(samples)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--warm", type=int, default=150,
+                        help="warm unary repeats")
+    parser.add_argument("--cold", type=int, default=12,
+                        help="cold unary repeats (full contraction each)")
+    parser.add_argument("--batch-rows", type=int, default=24)
+    parser.add_argument("--sat-threads", type=int, default=8)
+    parser.add_argument("--sat-requests", type=int, default=20,
+                        help="requests per saturation client thread")
+    parser.add_argument("--output", default=None,
+                        help="output path (default: BENCH_service.json "
+                        "next to the repo root)")
+    args = parser.parse_args(argv)
+
+    report = {
+        "workload": {
+            "circuit": f"qft{NUM_QUBITS}",
+            "num_noises": NUM_NOISES,
+            "epsilon": EPSILON,
+        },
+        "scenarios": {},
+    }
+
+    import tempfile
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-service-cache-")
+    try:
+        engine = Engine(cache=True, cache_dir=cache_dir)
+        with ServiceThread(engine, log_stream=io.StringIO()) as server:
+            print(f"service on {server.base_url}", file=sys.stderr)
+
+            report["scenarios"]["floor_healthz"] = bench_floor(server)
+            print("floor:", report["scenarios"]["floor_healthz"],
+                  file=sys.stderr)
+
+            warm_bodies = [wire_request(0)] * args.warm
+            report["scenarios"]["unary_warm"] = bench_unary(
+                server, warm_bodies
+            )
+            print("unary_warm:", report["scenarios"]["unary_warm"],
+                  file=sys.stderr)
+
+            cold_bodies = [
+                wire_request(seed) for seed in range(1, args.cold + 1)
+            ]
+            report["scenarios"]["unary_cold"] = bench_unary(
+                server, cold_bodies
+            )
+            print("unary_cold:", report["scenarios"]["unary_cold"],
+                  file=sys.stderr)
+
+            report["scenarios"]["batch"] = bench_batch(
+                server, args.batch_rows
+            )
+            print("batch:", report["scenarios"]["batch"], file=sys.stderr)
+
+        report["scenarios"]["saturated"] = bench_saturated(
+            args.sat_threads, args.sat_requests
+        )
+        print("saturated:", report["scenarios"]["saturated"],
+              file=sys.stderr)
+
+        # bare-engine comparison on identical requests (fresh engine +
+        # cache directory so the service run above cannot skew it)
+        bare_dir = tempfile.mkdtemp(prefix="bench-service-bare-")
+        try:
+            bare_engine = Engine(cache=True, cache_dir=bare_dir)
+            bare = bench_bare_engine(
+                bare_engine, typed_request(0), args.warm
+            )
+            cold_samples = []
+            for seed in range(101, 101 + max(4, args.cold // 2)):
+                start = time.perf_counter()
+                assert bare_engine.respond(typed_request(seed)).ok
+                cold_samples.append(time.perf_counter() - start)
+            bare_cold = percentiles(cold_samples)
+        finally:
+            import shutil
+
+            shutil.rmtree(bare_dir, ignore_errors=True)
+    finally:
+        import shutil
+
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    service_p50 = report["scenarios"]["unary_warm"]["p50_ms"]
+    floor_p50 = report["scenarios"]["floor_healthz"]["p50_ms"]
+    cold_p50 = report["scenarios"]["unary_cold"]["p50_ms"]
+    report["overhead"] = {
+        "bare_engine_warm": bare,
+        "bare_engine_cold": bare_cold,
+        "service_p50_ms": service_p50,
+        "bare_p50_ms": bare["p50_ms"],
+        "added_ms": service_p50 - bare["p50_ms"],
+        "floor_p50_ms": floor_p50,
+        "overhead_ratio": service_p50 / bare["p50_ms"],
+        "overhead_ratio_cold": cold_p50 / bare_cold["p50_ms"],
+        "target_ratio": 1.10,
+        "note": (
+            "warm-cache checks are sub-millisecond, so the loopback "
+            "TCP+HTTP floor dominates the warm ratio; added_ms and the "
+            "cold ratio measure the service layer itself"
+        ),
+    }
+    print(
+        "overhead: warm ratio "
+        f"{report['overhead']['overhead_ratio']:.2f} "
+        f"(added {report['overhead']['added_ms']:.3f} ms, floor "
+        f"{floor_p50:.3f} ms), cold ratio "
+        f"{report['overhead']['overhead_ratio_cold']:.2f}",
+        file=sys.stderr,
+    )
+
+    output = args.output or os.path.join(
+        os.path.dirname(__file__.rsplit("/", 1)[0]) or ".",
+        "BENCH_service.json",
+    )
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

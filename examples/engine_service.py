@@ -1,72 +1,125 @@
-"""The typed front door end to end: requests, responses, jobs, wire JSON.
+"""The HTTP checking service end to end, driven with nothing but urllib.
 
-Walks the `repro.api` surface the way a checking service would use it:
+Launches a real `repro.service` server in-process (its own event loop on
+a background thread — the same server `repro serve` binds to a port)
+and walks every endpoint the way a remote caller would:
 
-1. declarative `CheckRequest`s (library circuits + noise specs + config
-   overrides) answered by one `Engine` owning the sessions and cache;
-2. an order-preserving, error-isolating `check_iter` stream in which a
-   broken request becomes an `ERROR` response instead of an exception;
-3. submit/result job handles;
-4. the versioned wire schema: every request and response serialises to
-   JSON and parses back losslessly — which is all an HTTP layer needs.
+1. `GET  /healthz`      — liveness;
+2. `POST /v1/check`     — `CheckRequest` wire JSON in, `CheckResponse`
+   wire JSON out; typed error records mapped to HTTP statuses;
+3. `POST /v1/batch`     — NDJSON rows streamed back order-preserving
+   and error-isolating;
+4. `POST /v1/jobs` + `GET /v1/jobs/{id}` — submit now, collect later;
+5. `GET  /metrics`      — Prometheus text fed by the engine's
+   cumulative stats.
+
+Everything on the wire is the version-1 schema the CLI and in-process
+`Engine` speak — see docs/service.md and docs/api.md.
 
 Run: ``python examples/engine_service.py``
 """
 
-from repro import CheckRequest, CircuitSpec, Engine, NoiseSpec
+import io
+import json
+import urllib.error
+import urllib.request
+
+from repro import Engine
+from repro.service import ServiceThread
+
+REQUEST = {
+    "schema_version": "1",
+    "ideal": {"library": "qft", "params": {"num_qubits": 4}},
+    "noise": {"channel": "depolarizing", "p": 0.999, "noises": 2, "seed": 7},
+    "epsilon": 0.01,
+}
+
+
+def post(url: str, body: bytes):
+    """POST bytes; return (status, body) even for error statuses."""
+    try:
+        with urllib.request.urlopen(
+            urllib.request.Request(url, data=body, method="POST"), timeout=60
+        ) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def get(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=60) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
 
 
 def main() -> None:
-    engine = Engine(cache=False)
+    engine = Engine(cache=True)
+    with ServiceThread(engine, log_stream=io.StringIO()) as server:
+        base = server.base_url
+        print(f"service up    : {base}  (ephemeral loopback port)")
 
-    # --- 1. one declarative request -------------------------------------
-    request = CheckRequest(
-        ideal=CircuitSpec.from_library("qft", num_qubits=4),
-        noise=NoiseSpec(channel="depolarizing", p=0.999, noises=2, seed=7),
-        epsilon=0.01,
-        config={"backend": "tdd"},
-    )
-    response = engine.check(request)
-    print(f"single check  : {response.verdict}  "
-          f"F_J = {response.fidelity:.6f}")
+        # --- 1. liveness --------------------------------------------------
+        status, body = get(base + "/healthz")
+        print(f"healthz       : HTTP {status}  {body.decode().strip()}")
 
-    # --- 2. an error-isolating stream ------------------------------------
-    stream = [
-        request,
-        CheckRequest(ideal=CircuitSpec.from_path("does-not-exist.qasm")),
-        CheckRequest(
-            ideal=CircuitSpec.from_library("grover", num_qubits=3),
-            noise=NoiseSpec(noises=1, seed=1),
-            epsilon=0.05,
-            config={"backend": "einsum"},
-        ),
-    ]
-    print("\nstream        :")
-    for r in engine.check_iter(stream):
-        detail = (f"F_J = {r.fidelity:.6f}" if r.ok
-                  else f"error_code = {r.error_code}")
-        print(f"  [{r.index}] {r.verdict:<14} {detail}")
+        # --- 2. one check over the wire ----------------------------------
+        status, body = post(base + "/v1/check", json.dumps(REQUEST).encode())
+        record = json.loads(body)
+        print(f"check         : HTTP {status}  {record['verdict']}  "
+              f"F_J = {record['fidelity']:.6f}")
 
-    # --- 3. job handles ---------------------------------------------------
-    handles = [
-        engine.submit(CheckRequest(
-            ideal=CircuitSpec.from_library("qft", num_qubits=3),
-            noise=NoiseSpec(noises=1, seed=seed),
-            epsilon=0.05,
-        ))
-        for seed in range(3)
-    ]
-    verdicts = [engine.result(h).verdict for h in handles]
-    print(f"\njobs          : {verdicts}")
+        # the identical request again is answered from the result cache
+        status, body = post(base + "/v1/check", json.dumps(REQUEST).encode())
+        hits = json.loads(body)["stats"]["result_cache_hit"]
+        print(f"warm repeat   : HTTP {status}  result_cache_hit = {hits}")
 
-    # --- 4. the wire schema ----------------------------------------------
-    wire = request.to_json()
-    parsed = CheckRequest.from_json(wire)
-    assert parsed == request
-    print(f"\nrequest wire  : {wire[:72]}...")
-    record = response.to_json()
-    print(f"response wire : {record[:72]}...")
-    print("round-trips   : request ✓  response ✓")
+        # a broken request: typed error record, mapped HTTP status
+        status, body = post(base + "/v1/check", b'{"epsilonn": 0.1}')
+        record = json.loads(body)
+        print(f"typo'd field  : HTTP {status}  "
+              f"error_code = {record['error_code']}")
+
+        # --- 3. an error-isolating batch stream --------------------------
+        rows = [
+            REQUEST,
+            {"ideal": {"path": "does-not-exist.qasm"}},
+            dict(REQUEST, epsilon=0.05),
+        ]
+        ndjson = b"".join(json.dumps(r).encode() + b"\n" for r in rows)
+        status, body = post(base + "/v1/batch", ndjson)
+        print(f"batch         : HTTP {status}")
+        for line in body.splitlines():
+            record = json.loads(line)
+            detail = (f"error_code = {record['error_code']}"
+                      if record["verdict"] == "ERROR"
+                      else f"F_J = {record['fidelity']:.6f}")
+            print(f"  [{record['index']}] {record['verdict']:<14} {detail}")
+
+        # --- 4. submit / poll jobs ---------------------------------------
+        status, body = post(base + "/v1/jobs", json.dumps(REQUEST).encode())
+        job = json.loads(body)
+        print(f"submit        : HTTP {status}  id = {job['id']}  "
+              f"state = {job['state']}")
+        status, body = get(base + f"/v1/jobs/{job['id']}")
+        record = json.loads(body)
+        print(f"collect       : HTTP {status}  {record['verdict']}")
+        status, body = get(base + f"/v1/jobs/{job['id']}")
+        record = json.loads(body)
+        print(f"re-collect    : HTTP {status}  "
+              f"error_code = {record['error_code']}  (jobs collect once)")
+
+        # --- 5. metrics ---------------------------------------------------
+        status, body = get(base + "/metrics")
+        wanted = ("repro_requests_total{", "repro_checks_total ",
+                  "repro_result_cache_hits_total ")
+        print("metrics       :")
+        for line in body.decode().splitlines():
+            if line.startswith(wanted):
+                print(f"  {line}")
+
+    print("shutdown      : drained, engine closed")
 
 
 if __name__ == "__main__":

@@ -26,9 +26,11 @@ from .errors import (
     CircuitLoadError,
     CircuitSpecError,
     ConfigError,
+    DeadlineExceededError,
     InvalidRequestError,
     JobNotFoundError,
     NoiseSpecError,
+    OverloadedError,
     ReproError,
     SchemaVersionError,
     UnknownFieldError,
@@ -57,12 +59,14 @@ __all__ = [
     "CircuitSpec",
     "CircuitSpecError",
     "ConfigError",
+    "DeadlineExceededError",
     "Engine",
     "InvalidRequestError",
     "JobHandle",
     "JobNotFoundError",
     "NoiseSpec",
     "NoiseSpecError",
+    "OverloadedError",
     "ReproError",
     "SchemaVersionError",
     "UnknownFieldError",

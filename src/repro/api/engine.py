@@ -41,6 +41,8 @@ want zero request ceremony.
 from __future__ import annotations
 
 import itertools
+import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
@@ -70,6 +72,12 @@ _CIRCUIT_MEMO_ENTRIES = 128
 #: the least-recently-used (config, session) pair is dropped past this.
 _SESSION_MEMO_ENTRIES = 32
 
+#: Default bound on submitted-but-uncollected jobs.  ``result()`` is
+#: collectable-once, so a service whose clients abandon handles would
+#: otherwise grow ``_jobs_pending`` without limit; past this many, the
+#: oldest *finished* jobs are evicted first, then the oldest outright.
+_MAX_PENDING_JOBS = 1024
+
 
 @dataclass(frozen=True)
 class JobHandle:
@@ -97,6 +105,8 @@ class Engine:
         jobs: int = 1,
         cache: Optional[bool] = None,
         cache_dir: Optional[str] = None,
+        max_pending_jobs: int = _MAX_PENDING_JOBS,
+        job_ttl_seconds: Optional[float] = None,
         **overrides,
     ):
         if config is None:
@@ -105,11 +115,19 @@ class Engine:
             config = config.replace(**overrides)
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if max_pending_jobs < 1:
+            raise ValueError("max_pending_jobs must be at least 1")
+        if job_ttl_seconds is not None and job_ttl_seconds <= 0:
+            raise ValueError("job_ttl_seconds must be positive")
         if cache is None:
             cache = config.cache
         if cache_dir is None:
             cache_dir = config.cache_dir
         self.jobs = jobs
+        #: bound on uncollected job handles (oldest evicted past it)
+        self.max_pending_jobs = max_pending_jobs
+        #: age after which an uncollected job is evicted (None = never)
+        self.job_ttl_seconds = job_ttl_seconds
         #: the one shared cache (None when caching is off); every
         #: in-process session attaches this object, and worker configs
         #: carry its resolved directory so the pool shares the disk tier
@@ -135,7 +153,20 @@ class Engine:
         )
         self._pool = None
         self._job_ids = itertools.count(1)
+        #: job id -> (request, (kind, payload), submitted_at); ordered
+        #: by submission (dicts preserve insertion order), which is
+        #: what the TTL / max-count eviction walks
         self._jobs_pending: Dict[str, tuple] = {}
+        #: guards every memo (_resolved/_sessions/_circuits), the job
+        #: table and pool creation; re-entrant because resolution paths
+        #: nest (_config_session_for -> _session)
+        self._lock = threading.RLock()
+        #: config -> lock serialising checks on that config's session.
+        #: Sessions share mutable backend state (TDD computed tables,
+        #: plan memos) that is not safe under concurrent contraction;
+        #: the per-session lock makes threaded callers correct while
+        #: different configs — and pool-backed jobs — still overlap.
+        self._session_locks: Dict[CheckConfig, threading.Lock] = {}
 
     # --- resolution -----------------------------------------------------------
 
@@ -146,20 +177,22 @@ class Engine:
         self, request: CheckRequest
     ) -> Tuple[CheckConfig, CheckSession]:
         key = (request.epsilon, request.config)
-        entry = self._resolved.get(key)
-        if entry is not None:
-            self._resolved.move_to_end(key)
+        with self._lock:
+            entry = self._resolved.get(key)
+            if entry is not None:
+                self._resolved.move_to_end(key)
+                return entry
+            config = request.resolve_config(self.config)
+            entry = (config, self._session(config))
+            self._resolved[key] = entry
+            while len(self._resolved) > _SESSION_MEMO_ENTRIES:
+                _, (old_config, _) = self._resolved.popitem(last=False)
+                if all(
+                    cfg != old_config for cfg, _ in self._resolved.values()
+                ):
+                    self._sessions.pop(old_config, None)
+                    self._session_locks.pop(old_config, None)
             return entry
-        config = request.resolve_config(self.config)
-        entry = (config, self._session(config))
-        self._resolved[key] = entry
-        while len(self._resolved) > _SESSION_MEMO_ENTRIES:
-            _, (old_config, _) = self._resolved.popitem(last=False)
-            if all(
-                cfg != old_config for cfg, _ in self._resolved.values()
-            ):
-                self._sessions.pop(old_config, None)
-        return entry
 
     def _circuit(self, spec: CircuitSpec) -> QuantumCircuit:
         if spec.circuit is not None:
@@ -168,14 +201,18 @@ class Engine:
             return spec.resolve()
         # inline-QASM and library specs are pure (specs validate
         # hashability and random generators require a pinned seed)
-        circuit = self._circuits.get(spec)
-        if circuit is not None:
-            self._circuits.move_to_end(spec)
-            return circuit
+        with self._lock:
+            circuit = self._circuits.get(spec)
+            if circuit is not None:
+                self._circuits.move_to_end(spec)
+                return circuit
+        # resolve outside the lock: QASM parsing / generator calls can
+        # be slow, and purity makes a duplicate race-resolve harmless
         circuit = spec.resolve()
-        self._circuits[spec] = circuit
-        while len(self._circuits) > _CIRCUIT_MEMO_ENTRIES:
-            self._circuits.popitem(last=False)
+        with self._lock:
+            self._circuits[spec] = circuit
+            while len(self._circuits) > _CIRCUIT_MEMO_ENTRIES:
+                self._circuits.popitem(last=False)
         return circuit
 
     def _resolve(
@@ -192,13 +229,24 @@ class Engine:
         return config, ideal, apply_noise(request.noise, base)
 
     def _session(self, config: CheckConfig) -> CheckSession:
-        session = self._sessions.get(config)
-        if session is None:
-            session = CheckSession(config)
-            if self.cache is not None:
-                session.cache = self.cache
-            self._sessions[config] = session
-        return session
+        with self._lock:
+            session = self._sessions.get(config)
+            if session is None:
+                session = CheckSession(config)
+                if self.cache is not None:
+                    session.cache = self.cache
+                self._sessions[config] = session
+                self._session_locks[config] = threading.Lock()
+            return session
+
+    def _session_lock(self, config: CheckConfig) -> threading.Lock:
+        with self._lock:
+            lock = self._session_locks.get(config)
+            if lock is None:  # session created before locks existed
+                lock = self._session_locks.setdefault(
+                    config, threading.Lock()
+                )
+            return lock
 
     def _worker_config(self, config: CheckConfig) -> CheckConfig:
         """The config shipped to pool workers (re-opens the disk tier)."""
@@ -230,7 +278,11 @@ class Engine:
             config, ideal, noisy = self._resolve(request)
             session = self._config_session_for(request)[1]
             try:
-                result = session.run(ideal, noisy, request.mode)
+                # one check at a time per session: warm backend state
+                # (TDD tables, plan memos) is not contraction-safe
+                # under concurrent mutation.  Other configs overlap.
+                with self._session_lock(config):
+                    result = session.run(ideal, noisy, request.mode)
             except Exception as exc:
                 raise CheckFailedError.wrap(exc) from exc
         except ReproError as error:
@@ -242,6 +294,18 @@ class Engine:
     def check(self, request: CheckRequest) -> CheckResponse:
         """Answer one request in-process; typed errors raise."""
         return self._execute(request, None).raise_for_error()
+
+    def respond(self, request: CheckRequest) -> CheckResponse:
+        """Answer one request, never raising: failures come back as an
+        ``ERROR`` response carrying the typed error.
+
+        The service entry point — a network layer wants one uniform
+        return type to serialise, with the error→status mapping applied
+        from the response's ``error_code`` rather than an exception
+        handler.  In-process callers who prefer exceptions keep
+        :meth:`check`.  Safe to call from multiple threads.
+        """
+        return self._execute(request, None)
 
     def fidelity(self, request: CheckRequest) -> float:
         """The request's exact fidelity (forces ``mode="fidelity"``)."""
@@ -318,6 +382,14 @@ class Engine:
         :meth:`result` (same warm sessions either way).  Resolution
         failures are captured in the handle and surface as an ``ERROR``
         response, never as a raise from ``submit``.
+
+        Every ``submit`` also sweeps abandoned handles: jobs older than
+        ``job_ttl_seconds`` are dropped, and past ``max_pending_jobs``
+        the oldest finished jobs (then the oldest outright) are evicted
+        — so a long-lived service whose clients walk away never leaks.
+        Collecting an evicted id raises
+        :class:`~repro.api.errors.JobNotFoundError`, same as an unknown
+        one.
         """
         job_id = f"job-{next(self._job_ids)}"
         try:
@@ -339,8 +411,79 @@ class Engine:
                 state = ("deferred", (config, ideal, noisy))
         except ReproError as error:
             state = ("error", error)
-        self._jobs_pending[job_id] = (request, state)
+        with self._lock:
+            self._jobs_pending[job_id] = (
+                request, state, time.monotonic()
+            )
+            self._evict_jobs()
         return JobHandle(id=job_id, request=request)
+
+    def _evict_jobs(self) -> None:
+        """Drop expired / excess uncollected jobs (caller holds lock)."""
+
+        def finished(state) -> bool:
+            kind, payload = state
+            # error and deferred states have no running work to lose;
+            # a pool future counts once it is done
+            return kind != "future" or payload.done()
+
+        if self.job_ttl_seconds is not None:
+            deadline = time.monotonic() - self.job_ttl_seconds
+            for job_id in [
+                job_id
+                for job_id, (_, _, submitted) in self._jobs_pending.items()
+                if submitted < deadline
+            ]:
+                self._drop_job(job_id)
+        excess = len(self._jobs_pending) - self.max_pending_jobs
+        if excess <= 0:
+            return
+        # oldest finished first (their results are sitting idle); only
+        # reap still-running work when finished ones cannot cover it
+        victims = [
+            job_id
+            for job_id, (_, state, _) in self._jobs_pending.items()
+            if finished(state)
+        ][:excess]
+        if len(victims) < excess:
+            spared = set(victims)
+            victims += [
+                job_id
+                for job_id in self._jobs_pending
+                if job_id not in spared
+            ][: excess - len(victims)]
+        for job_id in victims:
+            self._drop_job(job_id)
+
+    def _drop_job(self, job_id: str) -> None:
+        entry = self._jobs_pending.pop(job_id, None)
+        if entry is None:
+            return
+        _, (kind, payload), _ = entry
+        if kind == "future":
+            payload.cancel()  # a no-op once running; best effort
+
+    def job_state(self, handle: Union[JobHandle, str]) -> str:
+        """Lifecycle state of a submitted job, without collecting it.
+
+        One of ``"running"`` (pool-backed, still computing),
+        ``"done"`` (pool-backed, result ready), ``"deferred"``
+        (``jobs == 1`` — the check runs inside :meth:`result`),
+        ``"failed"`` (resolution failed at submit; :meth:`result`
+        returns the ``ERROR`` response) or ``"unknown"`` (never
+        submitted, already collected, or evicted).
+        """
+        job_id = handle.id if isinstance(handle, JobHandle) else str(handle)
+        with self._lock:
+            entry = self._jobs_pending.get(job_id)
+        if entry is None:
+            return "unknown"
+        _, (kind, payload), _ = entry
+        if kind == "error":
+            return "failed"
+        if kind == "deferred":
+            return "deferred"
+        return "done" if payload.done() else "running"
 
     def result(
         self,
@@ -356,12 +499,13 @@ class Engine:
         and ``TimeoutError`` propagates.
         """
         job_id = handle.id if isinstance(handle, JobHandle) else str(handle)
-        entry = self._jobs_pending.pop(job_id, None)
+        with self._lock:
+            entry = self._jobs_pending.pop(job_id, None)
         if entry is None:
             raise JobNotFoundError(
-                f"unknown or already-collected job {job_id!r}"
+                f"unknown, already-collected or evicted job {job_id!r}"
             )
-        request, (kind, payload) = entry
+        request, (kind, payload), _submitted = entry
         if kind == "error":
             return CheckResponse.from_error(payload, request=request)
         if kind == "future":
@@ -370,7 +514,8 @@ class Engine:
             except (TimeoutError, _FuturesTimeout):
                 # concurrent.futures.TimeoutError only became an alias
                 # of the builtin in 3.11; catch both for the 3.10 CI leg
-                self._jobs_pending[job_id] = entry  # still collectable
+                with self._lock:  # still collectable
+                    self._jobs_pending[job_id] = entry
                 raise
             if error is not None:
                 error_type, message = error
@@ -382,7 +527,8 @@ class Engine:
         config, ideal, noisy = payload
         session = self._session(config)
         try:
-            result = session.run(ideal, noisy, request.mode)
+            with self._session_lock(config):
+                result = session.run(ideal, noisy, request.mode)
         except Exception as exc:
             return CheckResponse.from_error(
                 CheckFailedError.wrap(exc), request=request
@@ -391,31 +537,51 @@ class Engine:
 
     def pending_jobs(self) -> Tuple[str, ...]:
         """Ids of submitted-but-uncollected jobs, oldest first."""
-        return tuple(self._jobs_pending)
+        with self._lock:
+            return tuple(self._jobs_pending)
 
     # --- lifecycle ------------------------------------------------------------
 
     def _ensure_pool(self):
-        if self._pool is None:
-            from concurrent.futures import ProcessPoolExecutor
+        with self._lock:
+            if self._pool is None:
+                from concurrent.futures import ProcessPoolExecutor
 
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        return self._pool
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            return self._pool
 
     def reset(self) -> None:
-        """Drop warm session/backend state (the cache survives)."""
-        for session in self._sessions.values():
+        """Drop warm session/backend state (the cache survives).
+
+        Idempotent: resetting an already-reset (or never-used) engine
+        is a no-op, and the engine stays fully usable afterwards.
+        """
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+            self._session_locks.clear()
+            self._resolved.clear()
+            self._circuits.clear()
+        for session in sessions:
             session.reset()
-        self._sessions.clear()
-        self._resolved.clear()
-        self._circuits.clear()
 
     def close(self) -> None:
-        """Shut the worker pool down and forget pending jobs."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-        self._jobs_pending.clear()
+        """Shut the worker pool down and forget pending jobs.
+
+        Idempotent: closing twice (or closing a never-started engine)
+        is a no-op.  A later call that needs the pool lazily recreates
+        it, so ``close()`` between bursts is also a safe way to release
+        worker processes.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+            jobs = list(self._jobs_pending.values())
+            self._jobs_pending.clear()
+        for _, (kind, payload), _ in jobs:
+            if kind == "future":
+                payload.cancel()
+        if pool is not None:
+            pool.shutdown()
 
     def __enter__(self) -> "Engine":
         return self

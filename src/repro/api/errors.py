@@ -168,9 +168,26 @@ class CheckFailedError(ReproError):
 
 class JobNotFoundError(ReproError):
     """A job id :meth:`~repro.api.engine.Engine.result` does not hold
-    (never submitted, or its result was already collected)."""
+    (never submitted, its result was already collected, or the job was
+    evicted by the engine's completed-job TTL / max-count policy)."""
 
     code = "job_not_found"
+
+
+class DeadlineExceededError(ReproError):
+    """A request whose per-request deadline expired before the check
+    finished (the service's ``X-Repro-Timeout`` header or its default
+    request timeout)."""
+
+    code = "deadline_exceeded"
+
+
+class OverloadedError(ReproError):
+    """A request rejected by admission control: the service already has
+    ``max_inflight`` requests in flight and refuses to queue more —
+    callers should back off and retry (HTTP 503 + ``Retry-After``)."""
+
+    code = "overloaded"
 
 
 #: code -> class, for every concrete member of the taxonomy.
@@ -187,6 +204,8 @@ ERROR_CODES: Dict[str, Type[ReproError]] = {
         CircuitLoadError,
         CheckFailedError,
         JobNotFoundError,
+        DeadlineExceededError,
+        OverloadedError,
     )
 }
 

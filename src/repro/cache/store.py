@@ -23,6 +23,7 @@ import abc
 import hashlib
 import os
 import tempfile
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -151,7 +152,10 @@ class MemoryStore(CacheStore):
 
     ``get`` marks an entry most-recently-used; ``put`` evicts from the
     least-recently-used end once ``max_entries`` (and, when set,
-    ``max_bytes``) would be exceeded.
+    ``max_bytes``) would be exceeded.  All operations hold one lock:
+    the LRU reorder inside ``get`` makes even reads a mutation, and a
+    service's threads share one store per engine — an unlocked
+    ``move_to_end`` racing a ``popitem`` corrupts the ``OrderedDict``.
     """
 
     def __init__(
@@ -166,25 +170,29 @@ class MemoryStore(CacheStore):
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
     def get(self, key: str) -> Optional[bytes]:
-        payload = self._entries.get(key)
-        if payload is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return payload
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return payload
 
     def put(self, key: str, payload: bytes) -> None:
-        self._entries[key] = payload
-        self._entries.move_to_end(key)
-        self._evict()
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            self._evict()
 
     def _evict(self) -> None:
+        # caller holds self._lock
         while len(self._entries) > self.max_entries or (
             self.max_bytes is not None
             and len(self._entries) > 1
@@ -194,33 +202,37 @@ class MemoryStore(CacheStore):
             self._evictions += 1
 
     def clear(self) -> int:
-        count = len(self._entries)
-        self._entries.clear()
-        return count
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            return count
 
     def prune(self, max_bytes: int) -> int:
-        removed = 0
-        while self._entries and (
-            sum(map(len, self._entries.values())) > max_bytes
-        ):
-            self._entries.popitem(last=False)
-            removed += 1
-        self._evictions += removed
-        return removed
+        with self._lock:
+            removed = 0
+            while self._entries and (
+                sum(map(len, self._entries.values())) > max_bytes
+            ):
+                self._entries.popitem(last=False)
+                removed += 1
+            self._evictions += removed
+            return removed
 
     def keys(self) -> List[str]:
         """Keys in LRU→MRU order (oldest first)."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def stats(self) -> CacheStats:
-        return CacheStats(
-            store="memory",
-            entries=len(self._entries),
-            total_bytes=sum(map(len, self._entries.values())),
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-        )
+        with self._lock:
+            return CacheStats(
+                store="memory",
+                entries=len(self._entries),
+                total_bytes=sum(map(len, self._entries.values())),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )
 
 
 class DiskStore(CacheStore):

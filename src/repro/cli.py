@@ -37,6 +37,13 @@ Commands
     print a step/width/cost report — without contracting anything.  Use
     it to preview planner quality and slicing before committing to a
     heavy run.
+``serve``
+    Run the asyncio HTTP service over one shared engine: the same wire
+    schema over ``POST /v1/check`` / ``/v1/batch`` / ``/v1/jobs``, with
+    Prometheus ``GET /metrics``, admission control (503 + Retry-After
+    past ``--max-inflight``) and per-request deadlines
+    (``--request-timeout`` / ``X-Repro-Timeout``).  See
+    ``docs/service.md``.
 ``cache``
     Inspect and manage the content-addressed disk cache that ``check``,
     ``batch`` and ``plan`` fill when run with ``--cache``:
@@ -67,7 +74,7 @@ from .api import (
 from .backends import available_backends
 from .cache import CheckCache, DiskStore, count_by_kind
 from .circuits import qasm
-from .core import RunStats
+from .core import StatsAggregator
 from .tensornet.ordering import ORDER_HEURISTICS
 from .tensornet.planner import PLANNERS, build_plan
 
@@ -151,6 +158,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the plan as one JSON object instead of the report",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP checking service (POST /v1/check, /v1/batch, "
+        "/v1/jobs; GET /metrics, /healthz)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: loopback only)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8000,
+        help="port to bind (0 picks an ephemeral port, printed in the "
+        "ready log line)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="admission-control bound: request N+1 is answered 503 + "
+        "Retry-After instead of queued",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="default per-request deadline; the X-Repro-Timeout header "
+        "can shorten but never extend it (expiry answers 504)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="engine worker processes for /v1/batch and /v1/jobs "
+        "(default 1 = in-process)",
+    )
+    _add_cache_args(serve)
 
     cache = sub.add_parser(
         "cache", help="inspect and manage the content-addressed disk cache"
@@ -437,6 +475,35 @@ def cmd_cache(args) -> int:
     raise AssertionError("unreachable")
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import ServiceConfig, serve as run_service
+
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            request_timeout=args.request_timeout,
+        )
+    except ValueError as exc:
+        print(f"error [invalid_request]: {exc}", file=sys.stderr)
+        return 2
+    engine = _engine_from(args, jobs=args.jobs)
+    try:
+        asyncio.run(run_service(engine, config))
+    except KeyboardInterrupt:
+        # SIGINT between requests on platforms without loop signal
+        # handlers; the engine still closes deterministically
+        engine.close()
+    except OSError as exc:  # port in use, privileged bind, ...
+        engine.close()
+        print(f"error [serve_failed]: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 #: One parsed manifest row.  Exactly one of ``error`` (unparseable row),
 #: ``request`` (a JSON wire-schema request object) or ``ideal`` (a
 #: classic path pair, ``noisy`` optional) is populated.
@@ -518,7 +585,8 @@ def _run_batch(args, engine: Engine) -> int:
     rows = list(iter_manifest(args.manifest))  # row metadata only
 
     totals = {"checked": 0, "equivalent": 0, "errors": 0}
-    run_stats = []
+    # the same cumulative counter the service's /metrics endpoint uses
+    aggregate = StatsAggregator()
 
     # JSON rows inherit absent fields from the CLI flags.  The base
     # request needs *some* ideal spec to construct; rows are required
@@ -601,25 +669,24 @@ def _run_batch(args, engine: Engine) -> int:
             emit(position, lineno, ideal_label, noisy_label, error)
             continue
         response = next(responses)
-        if response.ok:
-            run_stats.append(response.stats)
+        aggregate.add(response.stats)
         emit(position, lineno, ideal_label, noisy_label,
              response.to_dict())
 
     wall = time.perf_counter() - start
-    merged = RunStats.merge(run_stats, wall_seconds=wall)
+    snapshot = aggregate.snapshot()
     cache_note = ""
     if args.cache:
         cache_note = (
-            f", plan hits {merged.plan_cache_hit}, "
-            f"result hits {merged.result_cache_hit}"
+            f", plan hits {int(snapshot['plan_cache_hits'])}, "
+            f"result hits {int(snapshot['result_cache_hits'])}"
         )
     print(
         f"batch: {len(rows)} rows, {totals['checked']} checked, "
         f"{totals['equivalent']} equivalent, "
         f"{totals['checked'] - totals['equivalent']} not equivalent, "
-        f"{totals['errors']} errors; wall {merged.time_seconds:.3f}s, "
-        f"cpu {merged.cpu_seconds:.3f}s, jobs={args.jobs}{cache_note}",
+        f"{totals['errors']} errors; wall {wall:.3f}s, "
+        f"cpu {snapshot['cpu_seconds']:.3f}s, jobs={args.jobs}{cache_note}",
         file=sys.stderr,
     )
     if totals["errors"]:
@@ -637,6 +704,8 @@ def main(argv=None) -> int:
         return cmd_batch(args)
     if args.command == "plan":
         return cmd_plan(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "cache":
         return cmd_cache(args)
     raise AssertionError("unreachable")

@@ -32,7 +32,13 @@ from .miter import (
     lower_kraus_selection,
     miter_circuit,
 )
-from .stats import CheckError, CheckResult, FidelityResult, RunStats
+from .stats import (
+    CheckError,
+    CheckResult,
+    FidelityResult,
+    RunStats,
+    StatsAggregator,
+)
 from .unitary_check import (
     UnitaryCheckResult,
     check_unitary_equivalence,
@@ -48,6 +54,7 @@ __all__ = [
     "EquivalenceChecker",
     "FidelityResult",
     "RunStats",
+    "StatsAggregator",
     "SampledFidelityResult",
     "UnitaryCheckResult",
     "check_unitary_equivalence",

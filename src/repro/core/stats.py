@@ -10,6 +10,7 @@ plain dicts / JSON so batch runs can stream machine-readable results.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import asdict, dataclass, field
 from typing import Iterable, List, Optional
 
@@ -128,6 +129,73 @@ class RunStats:
             wall_seconds if wall_seconds is not None else merged.cpu_seconds
         )
         return merged
+
+
+class StatsAggregator:
+    """Cumulative, thread-safe :class:`RunStats` counters across runs.
+
+    :meth:`RunStats.merge` aggregates one *finished* batch; long-lived
+    consumers — the service's ``/metrics`` endpoint, the batch CLI's
+    stderr summary — instead feed every run into one of these as it
+    completes and read a consistent :meth:`snapshot` at any time.
+    Counters only ever grow (Prometheus-counter semantics); peaks take
+    the maximum.  ``add`` and ``snapshot`` are safe to call from any
+    thread.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._checks = 0
+        self._wall_seconds = 0.0
+        self._cpu_seconds = 0.0
+        self._plan_cache_hits = 0
+        self._result_cache_hits = 0
+        self._terms_computed = 0
+        self._max_nodes = 0
+        self._max_intermediate_size = 0
+        self._early_stopped = 0
+        self._timed_out = 0
+
+    def add(self, stats: Optional[RunStats]) -> None:
+        """Fold one run's counters in (``None`` is ignored).
+
+        As in :meth:`RunStats.merge`, a run that never recorded a
+        separate ``cpu_seconds`` contributes its wall time to the CPU
+        total — the serial assumption.
+        """
+        if stats is None:
+            return
+        with self._lock:
+            self._checks += 1
+            self._wall_seconds += stats.time_seconds
+            self._cpu_seconds += (
+                stats.cpu_seconds if stats.cpu_seconds else stats.time_seconds
+            )
+            self._plan_cache_hits += stats.plan_cache_hit
+            self._result_cache_hits += stats.result_cache_hit
+            self._terms_computed += stats.terms_computed
+            self._max_nodes = max(self._max_nodes, stats.max_nodes)
+            self._max_intermediate_size = max(
+                self._max_intermediate_size, stats.max_intermediate_size
+            )
+            self._early_stopped += int(stats.early_stopped)
+            self._timed_out += int(stats.timed_out)
+
+    def snapshot(self) -> dict:
+        """A consistent point-in-time copy of every counter (JSON-safe)."""
+        with self._lock:
+            return {
+                "checks": self._checks,
+                "wall_seconds": self._wall_seconds,
+                "cpu_seconds": self._cpu_seconds,
+                "plan_cache_hits": self._plan_cache_hits,
+                "result_cache_hits": self._result_cache_hits,
+                "terms_computed": self._terms_computed,
+                "max_nodes": self._max_nodes,
+                "max_intermediate_size": self._max_intermediate_size,
+                "early_stopped": self._early_stopped,
+                "timed_out": self._timed_out,
+            }
 
 
 @dataclass

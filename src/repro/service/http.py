@@ -1,0 +1,178 @@
+"""A minimal, dependency-free HTTP/1.1 layer for :mod:`repro.service`.
+
+Just enough protocol for the checking service: request-line + header
+parsing off an :class:`asyncio.StreamReader`, ``Content-Length`` bodies,
+keep-alive, fixed and ``chunked`` responses.  No TLS, no request-side
+chunked encoding, no multipart — clients that need those put a real
+proxy in front.  Everything here is bytes-in/bytes-out and carries no
+knowledge of the wire schema; the server module owns routing and JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Reason phrases for every status the service emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Per-request parsing bounds: a public-facing parser must bound what a
+#: client can make it buffer.
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class HttpError(Exception):
+    """A malformed or over-limit request, answered with ``status``."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split target, headers, body."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    #: header names lower-cased; duplicate headers keep the last value
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_header_bytes: int = MAX_HEADER_BYTES,
+    max_body_bytes: int = MAX_BODY_BYTES,
+) -> Optional[HttpRequest]:
+    """Parse one request off ``reader``.
+
+    Returns ``None`` on a clean end-of-stream before any byte of a new
+    request (the keep-alive loop's exit), raises :class:`HttpError` for
+    anything malformed or over the limits, and
+    ``asyncio.IncompleteReadError`` if the peer vanishes mid-request.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "request headers exceed the size limit")
+    if len(head) > max_header_bytes:
+        raise HttpError(413, "request headers exceed the size limit")
+
+    lines = head.split(b"\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise HttpError(400, "malformed request line")
+    method, target, version = (p.decode("latin-1") for p in parts)
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(b":")
+        if not sep:
+            raise HttpError(400, "malformed header line")
+        headers[name.decode("latin-1").strip().lower()] = (
+            value.decode("latin-1").strip()
+        )
+
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        raise HttpError(411, "chunked request bodies are not supported")
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length {raw_length!r}") from None
+    if length < 0:
+        raise HttpError(400, f"bad Content-Length {raw_length!r}")
+    if length > max_body_bytes:
+        raise HttpError(413, "request body exceeds the size limit")
+    body = await reader.readexactly(length) if length else b""
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return HttpRequest(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+    keep_alive: bool = True,
+) -> bytes:
+    """A complete fixed-length response, ready to write."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines += [f"{name}: {value}" for name, value in extra_headers]
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def render_chunked_head(
+    status: int,
+    *,
+    content_type: str = "application/x-ndjson",
+    keep_alive: bool = True,
+) -> bytes:
+    """Response head opening a ``Transfer-Encoding: chunked`` stream."""
+    reason = REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        "Transfer-Encoding: chunked\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1")
+
+
+def render_chunk(payload: bytes) -> bytes:
+    """One chunk of a chunked stream (empty payloads are skipped by
+    callers — an empty chunk would terminate the stream)."""
+    return f"{len(payload):x}\r\n".encode("latin-1") + payload + b"\r\n"
+
+
+#: The terminating chunk of a chunked stream.
+LAST_CHUNK = b"0\r\n\r\n"

@@ -1,0 +1,300 @@
+"""Prometheus-text-format metrics for :mod:`repro.service`.
+
+A tiny, thread-safe subset of the Prometheus client model — counters,
+gauges and histograms with static label sets — rendered in the v0.0.4
+text exposition format that every Prometheus-compatible scraper reads.
+No external client library: the service is dependency-free by design,
+and the exposition format is a stable, trivially-rendered line protocol.
+
+>>> registry = MetricsRegistry()
+>>> requests = registry.counter(
+...     "repro_requests_total", "Requests served", ("method", "status"))
+>>> requests.labels(method="POST", status="200").inc()
+>>> print(registry.render())  # doctest: +SKIP
+# HELP repro_requests_total Requests served
+# TYPE repro_requests_total counter
+repro_requests_total{method="POST",status="200"} 1
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Default latency buckets (seconds): sub-millisecond cache hits up to
+#: multi-second cold contractions.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(str(value))}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared machinery: a named family of labelled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Tuple[str, ...]):
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+        if not self.labelnames:
+            self._children[()] = self._new_child()
+
+    def _new_child(self):
+        raise NotImplementedError
+
+    def labels(self, **labels):
+        """The child for one label assignment (created on first use)."""
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes labels {list(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._new_child()
+            return child
+
+    def _samples(self) -> Iterable[Tuple[str, Tuple[Tuple[str, str], ...], float]]:
+        """``(suffix, labels, value)`` triples, one per exposition line."""
+        with self._lock:
+            items = list(self._children.items())
+        for key, child in items:
+            labels = tuple(zip(self.labelnames, key))
+            yield from child._samples(labels)  # type: ignore[attr-defined]
+
+    def render(self) -> str:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        lines += [
+            f"{self.name}{suffix}{render_labels(labels)} "
+            f"{_format_value(value)}"
+            for suffix, labels, value in self._samples()
+        ]
+        return "\n".join(lines)
+
+
+class _CounterChild:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _samples(self, labels):
+        yield "", labels, self.value
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def _new_child(self):
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Unlabelled convenience (only for label-less counters)."""
+        self.labels().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self.labels().value
+
+
+class _GaugeChild:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _samples(self, labels):
+        yield "", labels, self.value
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (in-flight requests)."""
+
+    kind = "gauge"
+
+    def _new_child(self):
+        return _GaugeChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    @property
+    def value(self) -> float:
+        return self.labels().value
+
+
+class _HistogramChild:
+    def __init__(self, buckets: Tuple[float, ...]):
+        self._lock = threading.Lock()
+        self.buckets = buckets
+        self._counts = [0] * (len(buckets) + 1)  # +1 for +Inf
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    def _samples(self, labels):
+        with self._lock:
+            counts = list(self._counts)
+            total_sum = self._sum
+        cumulative = 0
+        for bound, count in zip(
+            tuple(self.buckets) + (float("inf"),), counts
+        ):
+            cumulative += count
+            le = "+Inf" if bound == float("inf") else _format_value(bound)
+            yield "_bucket", labels + (("le", le),), cumulative
+        yield "_sum", labels, total_sum
+        yield "_count", labels, cumulative
+
+
+class Histogram(_Metric):
+    """A latency/size distribution with cumulative buckets."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Tuple[str, ...] = (),
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        self.buckets = tuple(sorted(buckets))
+        super().__init__(name, help_text, labelnames)
+
+    def _new_child(self):
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+
+class MetricsRegistry:
+    """An ordered family registry rendering the full exposition page."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: List[_Metric] = []
+
+    def _register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            if any(m.name == metric.name for m in self._metrics):
+                raise ValueError(f"metric {metric.name!r} already registered")
+            self._metrics.append(metric)
+        return metric
+
+    def counter(
+        self, name: str, help_text: str, labelnames: Tuple[str, ...] = ()
+    ) -> Counter:
+        return self._register(Counter(name, help_text, labelnames))
+
+    def gauge(
+        self, name: str, help_text: str, labelnames: Tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._register(Gauge(name, help_text, labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Tuple[str, ...] = (),
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help_text, labelnames, buckets))
+
+    def render(self, extra: Optional[str] = None) -> str:
+        """The exposition page (trailing newline included, per spec)."""
+        with self._lock:
+            metrics = list(self._metrics)
+        parts = [metric.render() for metric in metrics]
+        if extra:
+            parts.append(extra.rstrip("\n"))
+        return "\n".join(parts) + "\n"
+
+
+def render_counter_block(counters: Dict[str, float], prefix: str = "") -> str:
+    """Plain unlabelled counter lines from a snapshot dict.
+
+    How :class:`~repro.core.stats.StatsAggregator` counters reach the
+    exposition page: each ``{name: value}`` pair becomes one
+    ``counter``-typed family (peaks render as gauges upstream by naming
+    convention — this helper does not distinguish; callers pick names).
+    """
+    lines = []
+    for name, value in counters.items():
+        full = f"{prefix}{name}"
+        lines.append(f"# TYPE {full} counter")
+        lines.append(f"{full} {_format_value(float(value))}")
+    return "\n".join(lines)

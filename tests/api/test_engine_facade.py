@@ -222,11 +222,137 @@ class TestJobs:
         engine = Engine()
         handle = engine.submit(library_request())
         engine._jobs_pending[handle.id] = (
-            handle.request, ("future", StuckFuture())
+            handle.request, ("future", StuckFuture()), 0.0
         )
         with pytest.raises(concurrent.futures.TimeoutError):
             engine.result(handle, timeout=0.01)
         assert handle.id in engine.pending_jobs()
+
+
+class TestJobLifecycle:
+    def test_ttl_evicts_abandoned_jobs(self):
+        engine = Engine(job_ttl_seconds=0.01)
+        stale = engine.submit(library_request(seed=0))
+        import time as _time
+
+        _time.sleep(0.05)
+        fresh = engine.submit(library_request(seed=1))  # sweeps on submit
+        assert stale.id not in engine.pending_jobs()
+        assert fresh.id in engine.pending_jobs()
+        with pytest.raises(JobNotFoundError):
+            engine.result(stale)
+        assert engine.result(fresh).ok
+
+    def test_max_pending_bounds_the_job_table(self):
+        engine = Engine(max_pending_jobs=3)
+        handles = [
+            engine.submit(library_request(seed=s)) for s in range(5)
+        ]
+        pending = engine.pending_jobs()
+        assert len(pending) == 3
+        # oldest evicted first, newest retained
+        assert handles[0].id not in pending
+        assert handles[4].id in pending
+        with pytest.raises(JobNotFoundError):
+            engine.result(handles[0])
+        assert engine.result(handles[4]).ok
+
+    def test_job_state_lifecycle(self):
+        engine = Engine()
+        handle = engine.submit(library_request())
+        assert engine.job_state(handle) == "deferred"
+        failed = engine.submit(
+            CheckRequest(ideal=CircuitSpec.from_path("/missing.qasm"))
+        )
+        assert engine.job_state(failed) == "failed"
+        engine.result(handle)
+        assert engine.job_state(handle) == "unknown"
+        assert engine.job_state("job-424242") == "unknown"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Engine(max_pending_jobs=0)
+        with pytest.raises(ValueError):
+            Engine(job_ttl_seconds=0)
+
+    def test_close_is_idempotent_and_recoverable(self):
+        engine = Engine()
+        engine.submit(library_request())
+        engine.close()
+        engine.close()  # second close is a no-op
+        assert engine.pending_jobs() == ()
+        # the engine stays fully usable after close
+        assert engine.check(library_request()).ok
+
+    def test_reset_is_idempotent(self):
+        engine = Engine()
+        engine.reset()  # never-used engine
+        engine.check(library_request())
+        engine.reset()
+        engine.reset()
+        assert engine._sessions == {}
+        assert engine.check(library_request()).ok
+
+
+class TestThreadSafety:
+    def test_concurrent_identical_requests_share_one_session(self, tmp_path):
+        """Threaded hammer: same request from many threads must create
+        one session and hit the result cache for every repeat."""
+        import threading
+
+        engine = Engine(cache=True, cache_dir=str(tmp_path / "cache"))
+        workers = 8
+        barrier = threading.Barrier(workers)
+        responses = [None] * workers
+
+        def hammer(slot):
+            barrier.wait()
+            responses[slot] = engine.respond(library_request())
+
+        threads = [
+            threading.Thread(target=hammer, args=(slot,))
+            for slot in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(r.ok for r in responses)
+        fidelities = {r.fidelity for r in responses}
+        assert len(fidelities) == 1
+        assert len(engine._sessions) == 1
+        # exactly one cold compute; every other request was a lookup
+        hits = sum(r.stats.result_cache_hit for r in responses)
+        assert hits == workers - 1
+
+    def test_concurrent_mixed_configs_stay_isolated(self, tmp_path):
+        import threading
+
+        engine = Engine(cache=True, cache_dir=str(tmp_path / "cache"))
+        configs = [None, {"backend": "einsum"}]
+        results = []
+        lock = threading.Lock()
+
+        def hammer(overrides):
+            request = library_request(num_qubits=2, **(
+                {"config": overrides} if overrides else {}
+            ))
+            response = engine.respond(request)
+            with lock:
+                results.append(response)
+
+        threads = [
+            threading.Thread(target=hammer, args=(configs[i % 2],))
+            for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(r.ok for r in results)
+        fidelities = [r.fidelity for r in results]
+        assert max(fidelities) - min(fidelities) < 1e-9  # same answer
+        assert len(engine._sessions) == 2
 
 
 class TestCacheSharing:

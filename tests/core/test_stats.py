@@ -123,3 +123,60 @@ class TestPickleRoundTrip:
         assert clone.slices == plan.slices
         assert clone.num_slices() == plan.num_slices()
         assert clone.dims == plan.dims
+
+
+class TestStatsAggregator:
+    def test_counters_accumulate_and_peaks_take_max(self):
+        from repro.core import StatsAggregator
+
+        aggregate = StatsAggregator()
+        aggregate.add(RunStats(time_seconds=1.0, cpu_seconds=2.0,
+                               plan_cache_hit=1, result_cache_hit=0,
+                               max_nodes=10, terms_computed=3))
+        aggregate.add(RunStats(time_seconds=0.5, cpu_seconds=0.0,
+                               plan_cache_hit=0, result_cache_hit=1,
+                               max_nodes=4, terms_computed=1,
+                               early_stopped=True))
+        aggregate.add(None)  # error responses carry no stats
+        snapshot = aggregate.snapshot()
+        assert snapshot["checks"] == 2
+        assert snapshot["wall_seconds"] == 1.5
+        # the second run never recorded cpu: wall stands in (merge rule)
+        assert snapshot["cpu_seconds"] == 2.5
+        assert snapshot["plan_cache_hits"] == 1
+        assert snapshot["result_cache_hits"] == 1
+        assert snapshot["max_nodes"] == 10
+        assert snapshot["terms_computed"] == 4
+        assert snapshot["early_stopped"] == 1
+        assert snapshot["timed_out"] == 0
+
+    def test_snapshot_is_a_point_in_time_copy(self):
+        from repro.core import StatsAggregator
+
+        aggregate = StatsAggregator()
+        aggregate.add(RunStats(time_seconds=1.0))
+        before = aggregate.snapshot()
+        aggregate.add(RunStats(time_seconds=1.0))
+        assert before["checks"] == 1
+        assert aggregate.snapshot()["checks"] == 2
+
+    def test_thread_safe_under_concurrent_adds(self):
+        import threading
+
+        from repro.core import StatsAggregator
+
+        aggregate = StatsAggregator()
+
+        def spin():
+            for _ in range(500):
+                aggregate.add(RunStats(time_seconds=0.001,
+                                       result_cache_hit=1))
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = aggregate.snapshot()
+        assert snapshot["checks"] == 4000
+        assert snapshot["result_cache_hits"] == 4000

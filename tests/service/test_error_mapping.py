@@ -1,0 +1,70 @@
+"""Every ReproError machine code pins an HTTP status — stable API.
+
+The mapping is enumerated twice on purpose: once in the service
+(:data:`repro.service.STATUS_BY_CODE`) and once here.  Growing the
+taxonomy without deciding its HTTP status fails these tests, which is
+exactly the reminder a new code needs.
+"""
+
+import json
+
+import pytest
+
+from repro.api import CheckResponse
+from repro.api.errors import ERROR_CODES, error_from_code
+from repro.service import STATUS_BY_CODE, http_status_for
+
+#: The pinned contract, one row per taxonomy code.
+EXPECTED_STATUS = {
+    "repro_error": 500,
+    "invalid_request": 400,
+    "unsupported_schema_version": 400,
+    "unknown_field": 400,
+    "invalid_circuit_spec": 400,
+    "invalid_noise_spec": 400,
+    "invalid_config": 400,
+    "circuit_load_failed": 400,
+    "check_failed": 500,
+    "job_not_found": 404,
+    "deadline_exceeded": 504,
+    "overloaded": 503,
+}
+
+
+def test_every_taxonomy_code_has_a_pinned_status():
+    assert set(EXPECTED_STATUS) == set(ERROR_CODES)
+    assert set(STATUS_BY_CODE) == set(ERROR_CODES)
+
+
+@pytest.mark.parametrize("code", sorted(ERROR_CODES))
+def test_code_maps_to_its_pinned_status(code):
+    assert http_status_for(code) == EXPECTED_STATUS[code]
+
+
+def test_unknown_future_codes_degrade_to_500():
+    assert http_status_for("code_from_the_future") == 500
+
+
+@pytest.mark.parametrize("code", sorted(ERROR_CODES))
+def test_error_body_round_trips_through_the_wire(code):
+    """The HTTP error body is the standard wire error record: parsing
+    it back yields an equal typed error with the same code."""
+    error = error_from_code(code, f"synthetic {code} failure", index=None)
+    record = error.to_dict()
+    assert record["error_code"] == code
+    assert record["verdict"] == "ERROR"
+    assert record["schema_version"] == "1"
+    parsed = CheckResponse.from_json(json.dumps(record))
+    assert parsed.error == error
+    assert parsed.error_code == code
+
+
+def test_golden_error_fixture_status():
+    """The golden error record of the wire schema maps to 400."""
+    from pathlib import Path
+
+    fixture = (
+        Path(__file__).parent.parent / "api" / "fixtures" / "error_v1.json"
+    )
+    record = json.loads(fixture.read_text())
+    assert http_status_for(record["error_code"]) == 400

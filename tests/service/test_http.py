@@ -1,0 +1,133 @@
+"""Unit tests for the minimal HTTP/1.1 layer."""
+
+import asyncio
+
+import pytest
+
+from repro.service.http import (
+    LAST_CHUNK,
+    HttpError,
+    read_request,
+    render_chunk,
+    render_chunked_head,
+    render_response,
+)
+
+
+def parse(raw: bytes, **kwargs):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_post_with_body(self):
+        request = parse(
+            b"POST /v1/check HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd"
+        )
+        assert request.method == "POST"
+        assert request.body == b"abcd"
+
+    def test_query_and_percent_decoding(self):
+        request = parse(b"GET /a%20b?x=1&y=two HTTP/1.1\r\n\r\n")
+        assert request.path == "/a b"
+        assert request.query == {"x": "1", "y": "two"}
+
+    def test_headers_lowercased_and_trimmed(self):
+        request = parse(
+            b"GET / HTTP/1.1\r\nX-Repro-Timeout:  2.5 \r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        assert request.headers["x-repro-timeout"] == "2.5"
+        assert not request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_mid_request_eof_raises(self):
+        with pytest.raises(asyncio.IncompleteReadError):
+            parse(b"GET / HTTP/1.1\r\nConte")
+
+    def test_truncated_body_raises(self):
+        with pytest.raises(asyncio.IncompleteReadError):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+
+    @pytest.mark.parametrize("raw", [
+        b"GET\r\n\r\n",                                # no target/version
+        b"GET / HTTP/1.1 extra\r\n\r\n",               # 4 request-line parts
+        b"GET / SPDY/3\r\n\r\n",                       # wrong protocol
+        b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",    # malformed header
+        b"POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n",
+        b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+    ])
+    def test_malformed_requests_answer_400(self, raw):
+        with pytest.raises(HttpError) as err:
+            parse(raw)
+        assert err.value.status == 400
+
+    def test_chunked_request_bodies_rejected(self):
+        with pytest.raises(HttpError) as err:
+            parse(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )
+        assert err.value.status == 411
+
+    def test_oversize_body_rejected(self):
+        with pytest.raises(HttpError) as err:
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100,
+                max_body_bytes=10,
+            )
+        assert err.value.status == 413
+
+    def test_oversize_headers_rejected(self):
+        raw = (
+            b"GET / HTTP/1.1\r\nX-Pad: " + b"y" * 4096 + b"\r\n\r\n"
+        )
+        with pytest.raises(HttpError) as err:
+            parse(raw, max_header_bytes=256)
+        assert err.value.status == 413
+
+
+class TestRenderResponse:
+    def test_fixed_response_shape(self):
+        raw = render_response(200, b'{"ok": true}')
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 12" in head
+        assert b"Content-Type: application/json" in head
+        assert b"Connection: keep-alive" in head
+        assert body == b'{"ok": true}'
+
+    def test_extra_headers_and_close(self):
+        raw = render_response(
+            503, b"{}", extra_headers=(("Retry-After", "1"),),
+            keep_alive=False,
+        )
+        assert b"Retry-After: 1\r\n" in raw
+        assert b"Connection: close" in raw
+
+    def test_chunked_framing_round_trips(self):
+        stream = (
+            render_chunked_head(200)
+            + render_chunk(b'{"a":1}\n')
+            + render_chunk(b'{"b":2}\n')
+            + LAST_CHUNK
+        )
+        head, _, rest = stream.partition(b"\r\n\r\n")
+        assert b"Transfer-Encoding: chunked" in head
+        # 8 == hex length of each payload
+        assert rest == (
+            b'8\r\n{"a":1}\n\r\n' b'8\r\n{"b":2}\n\r\n' b"0\r\n\r\n"
+        )

@@ -1,0 +1,119 @@
+"""Unit tests for the Prometheus text-format metrics."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    render_counter_block,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c_total", "help", ())
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counters_only_go_up(self):
+        counter = Counter("c_total", "help", ())
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        counter = Counter("c_total", "help", ("path",))
+        counter.labels(path="/a").inc()
+        counter.labels(path="/a").inc()
+        counter.labels(path="/b").inc()
+        assert counter.labels(path="/a").value == 2
+        assert counter.labels(path="/b").value == 1
+
+    def test_wrong_label_names_rejected(self):
+        counter = Counter("c_total", "help", ("path",))
+        with pytest.raises(ValueError):
+            counter.labels(route="/a")
+
+    def test_render_escapes_label_values(self):
+        counter = Counter("c_total", "help", ("path",))
+        counter.labels(path='we"ird\\x').inc()
+        assert 'path="we\\"ird\\\\x"' in counter.render()
+
+
+class TestGauge:
+    def test_up_down_set(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "help")
+        gauge.inc()
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value == 1
+        gauge.set(7)
+        assert gauge.value == 7
+        assert "# TYPE g gauge" in registry.render()
+
+
+class TestHistogram:
+    def test_cumulative_buckets_sum_and_count(self):
+        hist = Histogram("h", "help", (), buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        text = hist.render()
+        assert 'h_bucket{le="0.1"} 1' in text
+        assert 'h_bucket{le="1"} 3' in text
+        assert 'h_bucket{le="+Inf"} 4' in text
+        assert "h_count 4" in text
+        assert "h_sum 6.05" in text
+
+    def test_buckets_are_sorted(self):
+        hist = Histogram("h", "help", (), buckets=(1.0, 0.1))
+        assert hist.buckets == (0.1, 1.0)
+
+    def test_labelled_histogram(self):
+        hist = Histogram("h", "help", ("path",), buckets=(1.0,))
+        hist.labels(path="/x").observe(0.5)
+        assert 'h_bucket{path="/x",le="1"} 1' in hist.render()
+
+
+class TestRegistry:
+    def test_duplicate_names_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("dup_total", "help")
+        with pytest.raises(ValueError):
+            registry.gauge("dup_total", "help")
+
+    def test_render_page(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "first").inc()
+        registry.gauge("b", "second").set(2)
+        page = registry.render()
+        assert page.endswith("\n")
+        assert "# HELP a_total first" in page
+        assert "# TYPE a_total counter" in page
+        assert "a_total 1" in page
+        assert "b 2" in page
+
+    def test_render_appends_extra_block(self):
+        registry = MetricsRegistry()
+        extra = render_counter_block({"repro_checks_total": 3})
+        page = registry.render(extra=extra)
+        assert "# TYPE repro_checks_total counter" in page
+        assert "repro_checks_total 3" in page
+
+    def test_thread_safety_of_shared_counter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammer_total", "help", ("path",))
+
+        def spin():
+            for _ in range(1000):
+                counter.labels(path="/x").inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.labels(path="/x").value == 8000
