@@ -25,6 +25,16 @@ structurally identical new pair against the warm cache (``warm_plan``
 (``warm_result`` — result-cache hit, nothing runs), each with its
 wall-clock time and the ``RunStats`` hit counters.
 
+Since the array-API PR a ``batched`` section compares the two sliced
+execution modes on the finely sliced qft3 row: ``looped``
+(``slice_batch=1``, one einsum sweep per slice — the old behaviour) vs
+``batched`` (auto ``slice_batch``, whole chunks of slices per einsum
+call).  Each row records the effective batch, the number of batched
+kernel sweeps and the wall clock; the batched row carries its speedup
+over looped, and the einsum speedup is asserted to stay above
+``MIN_BATCHED_SPEEDUP``.  When torch is installed an ``einsum-torch``
+pair of rows rides along and its fidelity is held to the same 1e-9.
+
 Since the typed-API PR an ``engine`` section records the front-door
 overhead: per-check latency of ``Engine.check(request)`` against bare
 ``CheckSession.check(ideal, noisy)`` on the same warm pair, with the
@@ -65,7 +75,11 @@ from repro.core.miter import algorithm_network  # noqa: E402
 from repro.library import qft  # noqa: E402
 from repro.noise import depolarizing, insert_random_noise  # noqa: E402
 from repro.parallel import ProcessSliceExecutor  # noqa: E402
-from repro.tensornet import build_plan, slice_plan  # noqa: E402
+from repro.tensornet import (  # noqa: E402
+    ContractionStats,
+    build_plan,
+    slice_plan,
+)
 
 #: Small rows where every backend (including dense) finishes in seconds.
 DEFAULT_ROWS = ["rb2", "qft2", "grover3", "qft3", "bv4"]
@@ -75,6 +89,11 @@ ALG1_MAX_TERMS = 64
 
 #: Worker counts for the serial-vs-parallel speedup rows.
 DEFAULT_JOBS = [1, 2, 4]
+
+#: Acceptance floor: batched sliced execution must beat the per-slice
+#: loop by at least this factor on the einsum backend (measured ~17x on
+#: a single-core container; 5x leaves headroom for noisy CI runners).
+MIN_BATCHED_SPEEDUP = 5.0
 
 
 def bench_cell(workload, backend_name, algorithm, repeats):
@@ -237,6 +256,85 @@ def bench_batch_parallel(jobs_list, repeats, num_pairs=6):
         print(
             f"parallel batch    jobs {jobs}  wall {best:8.4f}s  "
             f"speedup {rows[-1]['speedup_vs_serial']:.2f}x"
+        )
+    return rows
+
+
+def bench_batched(repeats):
+    """Looped vs batched execution of the finely sliced qft3 row.
+
+    The same ~8k-slice plan as the parallel section, contracted two
+    ways on every batch-capable backend that is installed: the
+    ``slice_batch=1`` reference loop and the auto-sized batched kernel.
+    Both must agree with the *unsliced* dense contraction to 1e-9
+    (relative), and the einsum batched/looped ratio is the PR's
+    headline number — asserted against :data:`MIN_BATCHED_SPEEDUP` so a
+    regression fails the benchmark instead of quietly shipping.
+    """
+    ideal = qft(3)
+    noisy = insert_random_noise(ideal, 2, seed=0)
+    network = algorithm_network(noisy, ideal, "alg2")
+    plan = build_plan(network)
+    sliced = slice_plan(plan, max(1, plan.peak_size() // 8))
+    reference = get_backend("dense").contract_scalar(network, plan=plan)
+    scale = max(1.0, abs(reference))
+
+    names = [
+        name for name in ("einsum", "dense", "einsum-torch")
+        if name in available_backends()
+    ]
+    rows = []
+    speedups = {}
+    for backend_name in names:
+        timings = {}
+        for mode, slice_batch in (("looped", 1), ("batched", None)):
+            backend = get_backend(backend_name, slice_batch=slice_batch)
+            best = None
+            value = None
+            stats = None
+            for _ in range(repeats):
+                stats = ContractionStats()
+                start = time.perf_counter()
+                value = backend.contract_scalar(
+                    network, plan=sliced, stats=stats
+                )
+                seconds = time.perf_counter() - start
+                if best is None or seconds < best:
+                    best = seconds
+            if abs(value - reference) > 1e-9 * scale:
+                raise AssertionError(
+                    f"{backend_name}/{mode} disagrees with the unsliced "
+                    f"contraction by {abs(value - reference):.2e}"
+                )
+            timings[mode] = best
+            rows.append({
+                "workload": "sliced-qft3-alg2",
+                "backend": backend_name,
+                "mode": mode,
+                "num_slices": sliced.num_slices(),
+                "slice_batch": backend.effective_slice_batch(sliced),
+                "batched_slice_calls": stats.batched_slice_calls,
+                "wall_seconds": best,
+            })
+            print(
+                f"batched {mode:7s} {backend_name:12s} "
+                f"slice_batch {rows[-1]['slice_batch']:5d}  "
+                f"wall {best:8.4f}s"
+            )
+        speedup = (
+            timings["looped"] / timings["batched"]
+            if timings["batched"] else 0.0
+        )
+        rows[-1]["speedup_vs_looped"] = speedup
+        speedups[backend_name] = speedup
+        print(
+            f"batched speedup {backend_name:12s} {speedup:.2f}x "
+            f"over the per-slice loop"
+        )
+    if speedups.get("einsum", 0.0) < MIN_BATCHED_SPEEDUP:
+        raise AssertionError(
+            f"einsum batched speedup {speedups.get('einsum', 0.0):.2f}x "
+            f"fell below the {MIN_BATCHED_SPEEDUP:.0f}x floor"
         )
     return rows
 
@@ -444,6 +542,8 @@ def main(argv=None) -> int:
         "sliced": bench_sliced_parallel(args.jobs, args.repeats),
         "batch": bench_batch_parallel(args.jobs, args.repeats),
     }
+
+    report["batched"] = bench_batched(args.repeats)
 
     report["cache"] = bench_cache(args.repeats)
 

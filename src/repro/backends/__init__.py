@@ -1,14 +1,22 @@
 """Pluggable contraction backends.
 
-The protocol lives in :mod:`repro.backends.base`; three engines ship
+The protocol lives in :mod:`repro.backends.base`; five engines ship
 built in and pre-registered:
 
 * ``"tdd"`` — Tensor Decision Diagrams (the paper's engine);
-* ``"dense"`` — pairwise ``np.tensordot`` along the contraction plan;
-* ``"einsum"`` — one ``np.einsum`` call per plan step, labels remapped
-  per call.
+* ``"dense"`` — pairwise ``np.tensordot`` along the contraction plan,
+  with batched sliced execution;
+* ``"einsum"`` — compiled integer-subscript einsum per plan step on
+  numpy, batched sliced execution by default;
+* ``"einsum-torch"`` / ``"einsum-cupy"`` — the same einsum kernels on
+  torch tensors (CPU or CUDA) / cupy arrays.  These registry entries
+  always exist; when the optional library is missing they are excluded
+  from :func:`available_backends`, reported by
+  :func:`backend_availability` with the install hint, and constructing
+  one raises :class:`~repro.backends.xp.MissingDependencyError` — never
+  an import-time failure.
 
-All three execute the same
+All engines execute the same
 :class:`~repro.tensornet.planner.ContractionPlan`.  Register your own
 with::
 
@@ -27,27 +35,55 @@ with::
 from .base import (
     ContractionBackend,
     available_backends,
+    backend_availability,
     get_backend,
     register_backend,
+    registered_backends,
     resolve_backend,
     unregister_backend,
 )
 from .dense import DenseBackend
-from .einsum import NumpyEinsumBackend
+from .einsum import CupyEinsumBackend, NumpyEinsumBackend, TorchEinsumBackend
 from .tdd import TddBackend
+from .xp import (
+    AUTO_SLICE_BATCH_BUDGET,
+    NAMESPACES,
+    ArrayNamespace,
+    MissingDependencyError,
+    namespace_available,
+    resolve_namespace,
+)
 
 register_backend(TddBackend.name, TddBackend, overwrite=True)
 register_backend(DenseBackend.name, DenseBackend, overwrite=True)
 register_backend(NumpyEinsumBackend.name, NumpyEinsumBackend, overwrite=True)
+register_backend(
+    TorchEinsumBackend.name, TorchEinsumBackend,
+    overwrite=True, requires="torch",
+)
+register_backend(
+    CupyEinsumBackend.name, CupyEinsumBackend,
+    overwrite=True, requires="cupy",
+)
 
 __all__ = [
+    "AUTO_SLICE_BATCH_BUDGET",
+    "ArrayNamespace",
     "ContractionBackend",
+    "CupyEinsumBackend",
     "DenseBackend",
+    "MissingDependencyError",
+    "NAMESPACES",
     "NumpyEinsumBackend",
     "TddBackend",
+    "TorchEinsumBackend",
     "available_backends",
+    "backend_availability",
     "get_backend",
+    "namespace_available",
     "register_backend",
+    "registered_backends",
     "resolve_backend",
+    "resolve_namespace",
     "unregister_backend",
 ]

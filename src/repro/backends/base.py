@@ -41,6 +41,7 @@ from ..cache import PlanCache, open_cache
 from ..tensornet import ContractionStats, TensorNetwork
 from ..tensornet.ordering import ORDER_HEURISTICS
 from ..tensornet.planner import PLANNERS, ContractionPlan, build_plan
+from .xp import AUTO_SLICE_BATCH_BUDGET, namespace_available
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..parallel.executors import SliceExecutor
@@ -101,10 +102,32 @@ class ContractionBackend(abc.ABC):
         ``plan_cache_misses`` instance counters track how often
         :meth:`plan_for` was served without running a planner; they
         only move while a cache is attached.
+    device:
+        Device the backend's numerics run on (``None`` = the backend's
+        default, usually ``"cpu"``).  Array-API backends resolve it
+        through their namespace (``"cpu"``, ``"cuda"``, ``"cuda:1"``);
+        backends whose engine is device-less (TDD) accept only the CPU.
+        Validated at construction — a device the backend cannot honour
+        fails immediately with the real reason.
+    slice_batch:
+        How many index-fixed subplans of a sliced plan to contract per
+        batched kernel sweep.  ``None`` (the default) auto-sizes against
+        :data:`AUTO_SLICE_BATCH_BUDGET` so ``slice_batch × peak
+        intermediate`` stays memory-bounded; ``1`` forces the one-slice-
+        at-a-time reference loop; explicit ``N`` pins the batch (peak
+        memory scales as ``N × max_intermediate_size``).  Only array
+        backends batch (see :attr:`supports_batched_slices`); the TDD
+        engine contracts diagrams per slice and documents the knob as
+        inert, like ``order_method`` under the greedy planner.
     """
 
     #: Registry name of the backend; concrete subclasses must override.
     name: ClassVar[str] = ""
+
+    #: Whether the backend can fuse a sliced plan's subplans into batched
+    #: kernels.  Engines that cannot (TDD) run the per-slice loop no
+    #: matter what ``slice_batch`` says.
+    supports_batched_slices: ClassVar[bool] = False
 
     def __init__(
         self,
@@ -114,6 +137,8 @@ class ContractionBackend(abc.ABC):
         max_intermediate_size: Optional[int] = None,
         executor: Optional["SliceExecutor"] = None,
         plan_cache: Union[None, PlanCache, str, os.PathLike] = None,
+        device: Optional[str] = None,
+        slice_batch: Optional[int] = None,
     ):
         if order_method not in ORDER_HEURISTICS:
             raise ValueError(
@@ -127,6 +152,10 @@ class ContractionBackend(abc.ABC):
             )
         if max_intermediate_size is not None and max_intermediate_size < 1:
             raise ValueError("max_intermediate_size must be at least 1")
+        if slice_batch is not None and slice_batch < 1:
+            raise ValueError("slice_batch must be at least 1")
+        self.device = device
+        self.slice_batch = slice_batch
         self.order_method = order_method
         self.share_intermediates = share_intermediates
         self.planner = planner
@@ -304,6 +333,35 @@ class ContractionBackend(abc.ABC):
             return None
         return self.executor.contract(self, network, plan, stats)
 
+    @property
+    def resolved_device(self) -> str:
+        """Device the backend actually runs on (host CPU by default).
+
+        Array-namespace backends override this with the namespace's
+        normalised device string.
+        """
+        return self.device or "cpu"
+
+    def effective_slice_batch(self, plan: ContractionPlan) -> int:
+        """How many slices of ``plan`` to contract per batched sweep.
+
+        ``1`` means the per-slice reference loop: unsliced plans,
+        backends without batched kernels, and an explicit
+        ``slice_batch=1`` all land there.  With ``slice_batch=None``
+        the batch auto-sizes so ``batch × peak intermediate`` stays
+        under :data:`~repro.backends.xp.AUTO_SLICE_BATCH_BUDGET`
+        elements (clamped to the slice count — batching never
+        allocates past the work that exists).
+        """
+        if not plan.slices or not self.supports_batched_slices:
+            return 1
+        if self.slice_batch is not None:
+            return self.slice_batch
+        peak = max(1, plan.peak_size())
+        return max(
+            1, min(plan.num_slices(), AUTO_SLICE_BATCH_BUDGET // peak)
+        )
+
     def reset(self) -> None:
         """Drop all cached state (plans, managers, conversions)."""
         self._plan_cache.clear()
@@ -328,6 +386,8 @@ class ContractionBackend(abc.ABC):
             "planner": self.planner,
             "max_intermediate_size": self.max_intermediate_size,
             "plan_cache": plan_cache,
+            "device": self.device,
+            "slice_batch": self.slice_batch,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -339,19 +399,29 @@ class ContractionBackend(abc.ABC):
 
 #: Factories must accept the protocol keywords ``order_method``,
 #: ``share_intermediates``, ``planner``, ``max_intermediate_size``,
-#: ``executor`` and ``plan_cache`` (extra keywords are
-#: backend-specific).
+#: ``executor``, ``plan_cache``, ``device`` and ``slice_batch`` (extra
+#: keywords are backend-specific).
 BackendFactory = Callable[..., ContractionBackend]
 
 _REGISTRY: Dict[str, BackendFactory] = {}
+#: optional-dependency module each registered backend needs (absent =
+#: always available); probed without importing by :func:`backend_availability`.
+_REQUIRES: Dict[str, str] = {}
 
 
 def register_backend(
-    name: str, factory: BackendFactory, overwrite: bool = False
+    name: str,
+    factory: BackendFactory,
+    overwrite: bool = False,
+    requires: Optional[str] = None,
 ) -> None:
     """Register a backend factory (usually the class itself) under ``name``.
 
-    Raises ``ValueError`` when the name is taken, unless ``overwrite``.
+    ``requires`` names the optional array library the backend needs
+    (``"torch"``, ``"cupy"``); registration always succeeds — the
+    registry entry exists whether or not the library is installed, and
+    :func:`backend_availability` reports the truth.  Raises
+    ``ValueError`` when the name is taken, unless ``overwrite``.
     """
     if not name:
         raise ValueError("backend name must be non-empty")
@@ -361,16 +431,54 @@ def register_backend(
             "pass overwrite=True to replace it"
         )
     _REGISTRY[name] = factory
+    if requires is None:
+        _REQUIRES.pop(name, None)
+    else:
+        _REQUIRES[name] = requires
 
 
 def unregister_backend(name: str) -> None:
     """Remove a backend from the registry (no-op if absent)."""
     _REGISTRY.pop(name, None)
+    _REQUIRES.pop(name, None)
+
+
+def registered_backends() -> List[str]:
+    """Sorted names of *all* registered backends, installable or not."""
+    return sorted(_REGISTRY)
+
+
+def backend_availability() -> Dict[str, Optional[str]]:
+    """Why each registered backend is unavailable (``None`` = usable).
+
+    The probe is an ``importlib.util.find_spec`` check on the backend's
+    optional dependency — cheap (no import), truthful (``einsum-torch``
+    without torch maps to the install hint instead of raising), and the
+    single source for the CLI's available/missing markers.
+    """
+    return {
+        name: (
+            namespace_available(_REQUIRES[name])
+            if name in _REQUIRES
+            else None
+        )
+        for name in sorted(_REGISTRY)
+    }
 
 
 def available_backends() -> List[str]:
-    """Sorted names of all registered backends."""
-    return sorted(_REGISTRY)
+    """Sorted names of the registered backends that can be instantiated.
+
+    Optional-dependency backends whose library is missing are excluded —
+    callers may construct every listed name without an import error.
+    Use :func:`registered_backends` / :func:`backend_availability` for
+    the full truth table.
+    """
+    return [
+        name
+        for name, missing in backend_availability().items()
+        if missing is None
+    ]
 
 
 def get_backend(name: str, **options) -> ContractionBackend:
@@ -380,7 +488,7 @@ def get_backend(name: str, **options) -> ContractionBackend:
     except KeyError:
         raise ValueError(
             f"unknown backend {name!r}; "
-            f"available: {', '.join(available_backends()) or '(none)'}"
+            f"registered: {', '.join(registered_backends()) or '(none)'}"
         ) from None
     return factory(**options)
 

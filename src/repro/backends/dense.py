@@ -5,6 +5,12 @@ shared :class:`~repro.tensornet.planner.ContractionPlan`.  Memory scales
 with the largest intermediate tensor — bounded via the backend's
 ``max_intermediate_size`` slicing knob — and this engine serves as the
 reference implementation for cross-backend tests.
+
+Sliced plans batch by default: slice assignments are chunked and each
+chunk contracts through the shared batched einsum kernels of
+:mod:`repro.backends.xp` (identical numerics, a leading batch axis).
+``slice_batch=1`` restores the per-slice tensordot loop — the reference
+the property tests pin the batched path against.
 """
 
 from __future__ import annotations
@@ -12,14 +18,32 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Set
 
 from ..tensornet import ContractionStats, Tensor, TensorNetwork
-from ..tensornet.planner import ContractionPlan, execute_plan
+from ..tensornet.planner import (
+    BatchedSliceApplier,
+    ContractionPlan,
+    execute_plan,
+    iter_slice_assignments,
+)
 from .base import ContractionBackend
+from .xp import compiled_for, contract_slices_batched, resolve_namespace
 
 
 class DenseBackend(ContractionBackend):
     """Dense pairwise tensordot contraction along a plan."""
 
     name = "dense"
+    supports_batched_slices = True
+
+    def __init__(self, **options):
+        super().__init__(**options)
+        # Dense is host-numpy by construction; the namespace both
+        # validates the device knob (cpu only) and powers the batched
+        # sliced path.
+        self.xp = resolve_namespace("numpy", self.device)
+
+    @property
+    def resolved_device(self) -> str:
+        return self.xp.device
 
     def contract_scalar(
         self,
@@ -33,6 +57,18 @@ class DenseBackend(ContractionBackend):
         dispatched = self._dispatch_slices(network, plan, stats, assignments)
         if dispatched is not None:
             return dispatched
+        batch = self.effective_slice_batch(plan)
+        if batch > 1:
+            if assignments is None:
+                assignments = list(iter_slice_assignments(plan))
+            else:
+                assignments = list(assignments)
+            if len(assignments) > 1:
+                applier = BatchedSliceApplier(network.tensors, plan.slices)
+                return contract_slices_batched(
+                    self.xp, plan, compiled_for(plan), applier,
+                    assignments, batch, stats,
+                )
 
         def merge(a: Tensor, b: Tensor, step) -> Tensor:
             merged = a.contract(b)

@@ -1,35 +1,68 @@
-"""A third engine: contraction via ``numpy.einsum``.
+"""The array-API einsum engine: one contraction kernel, any array library.
 
 Each pairwise step of the shared
 :class:`~repro.tensornet.planner.ContractionPlan` is executed by one
-``np.einsum`` call.  Labels are remapped to a dense ``0..k`` integer range
-per call, so the global index count never hits numpy's 52-symbol subscript
-alphabet and network size is unbounded.  (The backend's former private
-path planner is gone — planning now lives in
-:mod:`repro.tensornet.planner`, where the ``"order"`` planner derives the
-path from the repo's elimination-order heuristics exactly as this backend
-used to, and the ``"greedy"`` planner is shared with every other engine.)
+``einsum`` call against an :class:`~repro.backends.xp.ArrayNamespace` —
+numpy by default, torch or cupy through the ``einsum-torch`` /
+``einsum-cupy`` registry entries.  Subscripts are integer sublists
+compiled once per plan (:func:`repro.backends.xp.compile_plan`, memoised
+by plan digest), so neither the 52-symbol subscript alphabet nor
+per-call label remapping costs apply.
 
-Plans are cached per network structure by the base class: Algorithm I
-replays the same plan for every trace term, and a batch session replays it
-for every structurally identical circuit pair.
+Sliced plans run in one of two modes:
+
+* **looped** (``slice_batch=1``): the reference loop, one subplan per
+  slice assignment;
+* **batched** (the default for sliced plans): assignments are chunked,
+  slice-varying tensors gain a leading batch axis, and each plan step
+  becomes a single batched einsum over the whole chunk — thousands of
+  Python-level contractions collapse into a handful of kernels, with
+  ``slice_batch × peak intermediate`` bounding memory.
+
+The optional-dependency subclasses resolve their namespace at
+*construction*: ``get_backend("einsum-torch")`` without torch raises
+:class:`~repro.backends.xp.MissingDependencyError` with the install
+hint, while the registry entry itself always imports and lists.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
-
-import numpy as np
+from typing import ClassVar, Dict, Optional, Sequence, Set
 
 from ..tensornet import ContractionStats, TensorNetwork
-from ..tensornet.planner import ContractionPlan, execute_plan
+from ..tensornet.planner import (
+    BatchedSliceApplier,
+    ContractionPlan,
+    SliceApplier,
+    iter_slice_assignments,
+)
 from .base import ContractionBackend
+from .xp import (
+    compiled_for,
+    contract_slices_batched,
+    contract_slices_looped,
+    resolve_namespace,
+)
 
 
 class NumpyEinsumBackend(ContractionBackend):
-    """Pairwise ``np.einsum`` execution of a shared contraction plan."""
+    """Compiled-subscript einsum execution of a shared contraction plan."""
 
     name = "einsum"
+    #: array namespace the backend contracts with; subclasses override.
+    namespace: ClassVar[str] = "numpy"
+    supports_batched_slices = True
+
+    def __init__(self, **options):
+        super().__init__(**options)
+        # Resolves eagerly: a missing optional library or an impossible
+        # device fails here, at construction, with the real reason.
+        self.xp = resolve_namespace(self.namespace, self.device)
+
+    @property
+    def resolved_device(self) -> str:
+        """The device the namespace actually placed the backend on."""
+        return self.xp.device
 
     def contract_scalar(
         self,
@@ -45,39 +78,32 @@ class NumpyEinsumBackend(ContractionBackend):
         dispatched = self._dispatch_slices(network, plan, stats, assignments)
         if dispatched is not None:
             return dispatched
-
-        def merge(a, b, step):
-            mapping: Dict[str, int] = {}
-            args: List[object] = []
-            for data, labels in (a, b):
-                args.append(data)
-                args.append(
-                    [mapping.setdefault(lab, len(mapping)) for lab in labels]
-                )
-            merged = np.asarray(
-                np.einsum(*args, [mapping[lab] for lab in step.output])
+        compiled = compiled_for(plan)
+        if assignments is None:
+            assignments = list(iter_slice_assignments(plan))
+        else:
+            assignments = list(assignments)
+        batch = self.effective_slice_batch(plan)
+        if batch > 1 and len(assignments) > 1:
+            applier = BatchedSliceApplier(network.tensors, plan.slices)
+            return contract_slices_batched(
+                self.xp, plan, compiled, applier, assignments, batch, stats
             )
-            if stats is not None:
-                stats.num_pairwise_contractions += 1
-                stats.max_intermediate_rank = max(
-                    stats.max_intermediate_rank, merged.ndim
-                )
-                stats.max_intermediate_size = max(
-                    stats.max_intermediate_size, int(merged.size)
-                )
-            return merged, step.output
-
-        def scalar(operand) -> complex:
-            data, labels = operand
-            if labels:  # pragma: no cover - plans cover closed networks
-                raise ValueError(f"contraction left open indices {labels}")
-            return complex(data)
-
-        total = execute_plan(
-            plan, network,
-            load=lambda tensors: [(t.data, t.indices) for t in tensors],
-            merge=merge,
-            scalar=scalar,
-            assignments=assignments,
+        looped_applier = SliceApplier(network.tensors, plan.slices)
+        return contract_slices_looped(
+            self.xp, plan, compiled, looped_applier, assignments, stats
         )
-        return total
+
+
+class TorchEinsumBackend(NumpyEinsumBackend):
+    """The same compiled einsum kernels on torch tensors (CPU or CUDA)."""
+
+    name = "einsum-torch"
+    namespace = "torch"
+
+
+class CupyEinsumBackend(NumpyEinsumBackend):
+    """The same compiled einsum kernels on cupy arrays (CUDA)."""
+
+    name = "einsum-cupy"
+    namespace = "cupy"

@@ -42,10 +42,23 @@ class TddBackend(ContractionBackend):
         max_intermediate_size: Optional[int] = None,
         executor=None,
         plan_cache=None,
+        device: Optional[str] = None,
+        slice_batch: Optional[int] = None,
     ):
+        if device not in (None, "cpu"):
+            raise ValueError(
+                f"the tdd backend runs on the host CPU only, got "
+                f"device={device!r}; use 'einsum-torch'/'einsum-cupy' "
+                "for accelerator devices"
+            )
+        # slice_batch is accepted-but-inert: decision diagrams contract
+        # one index-fixed subnetwork at a time (supports_batched_slices
+        # stays False), mirroring how order_method rides along unused
+        # under the greedy planner.
         super().__init__(
             order_method, share_intermediates, planner,
             max_intermediate_size, executor, plan_cache,
+            device, slice_batch,
         )
         self._manager: Optional[TddManager] = None
         #: id(tensor) -> (tensor, Tdd); entries survive only for tensors

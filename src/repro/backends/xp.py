@@ -1,0 +1,506 @@
+"""The array-namespace portability layer: one contraction kernel, any array library.
+
+The dense and einsum backends bottom out in ``einsum`` calls over ndarrays.
+Nothing about those calls is numpy-specific — torch and cupy implement the
+same interleaved integer-sublist ``einsum`` signature, the same advanced
+indexing and the same reductions — so this module abstracts the handful of
+array operations the execution path needs behind an
+:class:`ArrayNamespace`, and the einsum backend becomes generic over it:
+the *same* :class:`~repro.tensornet.planner.ContractionPlan` executes on
+numpy arrays, torch tensors (CPU or CUDA) or cupy arrays.
+
+Design rules:
+
+* **Lazy imports.**  torch and cupy are optional dependencies; importing
+  :mod:`repro.backends` must never import them.  :func:`namespace_available`
+  probes installability without importing, :func:`resolve_namespace`
+  imports on first use and raises a :class:`MissingDependencyError` with
+  the ``pip install repro[torch]`` / ``repro[cupy]`` hint when absent.
+* **One host↔device transfer per plan-execution boundary.**  Input tensors
+  move to the device once (:meth:`ArrayNamespace.from_host`), every
+  intermediate stays on-device, and only the final scalar comes back
+  (:meth:`ArrayNamespace.sum_scalar`).  Slice gathering happens on-device
+  via advanced indexing, so an 8192-slice contraction is still two
+  transfers, not 8192.
+
+The module also owns the **compiled-plan + batched execution kernels**
+shared by the einsum and dense backends:
+
+* :func:`compile_plan` precomputes, once per plan, the dense integer
+  einsum subscripts of every step (the per-call label remap the old
+  einsum backend rebuilt for every step of every slice), in both an
+  unbatched and a batch-labelled variant;
+* :func:`contract_slices_looped` executes one slice at a time with the
+  compiled subscripts (the reference slice loop);
+* :func:`contract_slices_batched` stacks a *batch* of slice assignments
+  along a leading batch axis and contracts them with one einsum call per
+  plan step — replacing thousands of per-slice Python-loop contractions
+  with a handful of batched kernels, chunked so
+  ``slice_batch × max_intermediate_size`` still bounds peak memory.
+"""
+
+from __future__ import annotations
+
+import abc
+import importlib.util
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..tensornet import ContractionStats
+from ..tensornet.planner import BatchedSliceApplier, ContractionPlan
+
+#: Names :func:`resolve_namespace` understands, in documentation order.
+NAMESPACES = ("numpy", "torch", "cupy")
+
+#: Element budget the automatic ``slice_batch`` sizes against: with
+#: ``slice_batch=None`` a backend picks the largest batch whose
+#: ``batch × peak per-slice intermediate`` stays under this many
+#: elements (2M complex128 elements ≈ 32 MiB of batched intermediate).
+AUTO_SLICE_BATCH_BUDGET = 1 << 21
+
+#: pip extras installing each optional namespace (the error-message hint).
+_INSTALL_HINTS = {
+    "torch": "pip install repro[torch]",
+    "cupy": "pip install repro[cupy]",
+}
+
+
+class MissingDependencyError(ImportError):
+    """An optional array library is not installed.
+
+    Subclasses :class:`ImportError` so generic import handling applies,
+    and carries the human-facing install hint in its message.  Raised at
+    *backend construction* (``get_backend("einsum-torch")``), never at
+    :mod:`repro.backends` import time — the registry entries for optional
+    backends always exist and report their unavailability truthfully.
+    """
+
+
+def namespace_available(name: str) -> Optional[str]:
+    """Why ``name`` is unavailable, or ``None`` when it is usable.
+
+    The probe is ``importlib.util.find_spec`` — it checks installability
+    without paying the (potentially seconds-long) import, so registry
+    listings stay cheap.  ``resolve_namespace`` still performs the real
+    import and reports genuine import failures.
+    """
+    if name == "numpy":
+        return None
+    if name not in NAMESPACES:
+        return f"unknown array namespace {name!r}"
+    try:
+        spec = importlib.util.find_spec(name)
+    except (ImportError, ValueError):  # pragma: no cover - exotic loaders
+        spec = None
+    if spec is None:
+        return (
+            f"optional dependency {name!r} is not installed "
+            f"({_INSTALL_HINTS[name]})"
+        )
+    return None
+
+
+class ArrayNamespace(abc.ABC):
+    """The array operations the contraction kernels need, on one device.
+
+    Operands are opaque to callers: :meth:`from_host` turns a host
+    ndarray into whatever the namespace contracts (numpy ndarray, torch
+    tensor, cupy array), :meth:`einsum`/advanced indexing combine them,
+    and :meth:`sum_scalar` is the single device→host exit.
+    """
+
+    #: namespace name ("numpy" / "torch" / "cupy")
+    name: str = ""
+
+    def __init__(self, device: Optional[str] = None):
+        self.device = self._resolve_device(device)
+
+    @abc.abstractmethod
+    def _resolve_device(self, device: Optional[str]) -> str:
+        """Validate and normalise the requested device string."""
+
+    @abc.abstractmethod
+    def from_host(self, array: np.ndarray):
+        """Place a host ndarray on the namespace's device (one transfer)."""
+
+    @abc.abstractmethod
+    def index_array(self, values: Sequence[int]):
+        """Integer gather-index array on the device."""
+
+    @abc.abstractmethod
+    def einsum(self, *operands_and_subscripts):
+        """Interleaved integer-sublist einsum (the numpy calling form)."""
+
+    @abc.abstractmethod
+    def sum_scalar(self, operand) -> complex:
+        """Sum every element and return it as a host complex."""
+
+    @staticmethod
+    def size_of(operand) -> int:
+        """Element count of an operand (works on ndarray/tensor alike)."""
+        return int(math.prod(operand.shape)) if operand.shape else 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(device={self.device!r})"
+
+
+class NumpyNamespace(ArrayNamespace):
+    """The reference namespace: host numpy, no transfers."""
+
+    name = "numpy"
+
+    def _resolve_device(self, device: Optional[str]) -> str:
+        if device not in (None, "cpu"):
+            raise ValueError(
+                f"the numpy namespace runs on 'cpu' only, got "
+                f"device={device!r}; use backend 'einsum-torch' or "
+                "'einsum-cupy' for accelerator devices"
+            )
+        return "cpu"
+
+    def from_host(self, array: np.ndarray):
+        return array
+
+    def index_array(self, values: Sequence[int]):
+        return np.asarray(values, dtype=np.intp)
+
+    def einsum(self, *operands_and_subscripts):
+        return np.asarray(np.einsum(*operands_and_subscripts))
+
+    def sum_scalar(self, operand) -> complex:
+        return complex(np.sum(operand))
+
+
+class TorchNamespace(ArrayNamespace):
+    """torch tensors on ``cpu`` (default) or any torch device string."""
+
+    name = "torch"
+
+    def __init__(self, device: Optional[str] = None):
+        self._torch = _import_module("torch")
+        super().__init__(device)
+
+    def _resolve_device(self, device: Optional[str]) -> str:
+        device = device or "cpu"
+        try:
+            resolved = self._torch.device(device)
+        except (RuntimeError, ValueError) as exc:
+            raise ValueError(
+                f"torch rejected device {device!r}: {exc}"
+            ) from None
+        if resolved.type == "cuda" and not self._torch.cuda.is_available():
+            raise ValueError(
+                f"device {device!r} requested but torch reports CUDA "
+                "unavailable on this host"
+            )
+        return str(resolved)
+
+    def from_host(self, array: np.ndarray):
+        return self._torch.as_tensor(array, device=self.device)
+
+    def index_array(self, values: Sequence[int]):
+        return self._torch.as_tensor(
+            np.asarray(values, dtype=np.int64), device=self.device
+        )
+
+    def einsum(self, *operands_and_subscripts):
+        return self._torch.einsum(*operands_and_subscripts)
+
+    def sum_scalar(self, operand) -> complex:
+        return complex(operand.sum().item())
+
+
+class CupyNamespace(ArrayNamespace):
+    """cupy arrays on the current (or an explicit ``cuda:N``) GPU."""
+
+    name = "cupy"
+
+    def __init__(self, device: Optional[str] = None):
+        self._cupy = _import_module("cupy")
+        super().__init__(device)
+
+    def _resolve_device(self, device: Optional[str]) -> str:
+        if device in (None, "cuda"):
+            return "cuda"
+        if device.startswith("cuda:"):
+            try:
+                int(device.split(":", 1)[1])
+            except ValueError:
+                raise ValueError(
+                    f"bad cupy device {device!r}; use 'cuda' or 'cuda:N'"
+                ) from None
+            return device
+        raise ValueError(
+            f"the cupy namespace runs on CUDA devices only, got "
+            f"device={device!r}"
+        )
+
+    def _device_id(self) -> int:
+        return int(self.device.split(":")[1]) if ":" in self.device else (
+            self._cupy.cuda.runtime.getDevice()
+        )
+
+    def from_host(self, array: np.ndarray):
+        with self._cupy.cuda.Device(self._device_id()):
+            return self._cupy.asarray(array)
+
+    def index_array(self, values: Sequence[int]):
+        with self._cupy.cuda.Device(self._device_id()):
+            return self._cupy.asarray(np.asarray(values, dtype=np.intp))
+
+    def einsum(self, *operands_and_subscripts):
+        return self._cupy.einsum(*operands_and_subscripts)
+
+    def sum_scalar(self, operand) -> complex:
+        return complex(operand.sum().item())
+
+
+def _import_module(name: str):
+    """Import an optional dependency, raising the typed error when absent."""
+    try:
+        return __import__(name)
+    except ImportError as exc:
+        raise MissingDependencyError(
+            f"optional dependency {name!r} is not installed "
+            f"({_INSTALL_HINTS[name]}): {exc}"
+        ) from exc
+
+
+_NAMESPACE_CLASSES = {
+    "numpy": NumpyNamespace,
+    "torch": TorchNamespace,
+    "cupy": CupyNamespace,
+}
+
+
+def resolve_namespace(
+    name: str, device: Optional[str] = None
+) -> ArrayNamespace:
+    """An :class:`ArrayNamespace` for ``name`` placed on ``device``.
+
+    Raises :class:`MissingDependencyError` when the library is not
+    installed and ``ValueError`` for unknown names or devices the
+    namespace cannot honour (e.g. ``cuda`` without a visible GPU) — so a
+    misconfigured backend fails at construction with the real reason,
+    never deep inside a contraction.
+    """
+    try:
+        cls = _NAMESPACE_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown array namespace {name!r}; "
+            f"choose from {list(NAMESPACES)}"
+        ) from None
+    return cls(device)
+
+
+# --- compiled plans ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompiledStep:
+    """One plan step lowered to ready-made einsum integer subscripts.
+
+    ``subscripts`` is the ``(lhs, rhs, out)`` sublist triple for the
+    per-slice (unbatched) call; ``batched_subscripts`` is the same triple
+    with the reserved batch label ``0`` prepended wherever the operand —
+    or the output — varies across slices.  Both are computed once per
+    plan, replacing the per-call label remap the einsum backend used to
+    rebuild for every step of every slice.
+    """
+
+    lhs: int
+    rhs: int
+    subscripts: Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]
+    batched_subscripts: Tuple[
+        Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]
+    ]
+    out_batched: bool
+    #: per-slice element count of the merged operand (the plan estimate)
+    output_size: int
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A :class:`ContractionPlan` lowered for the array-API kernels."""
+
+    steps: Tuple[CompiledStep, ...]
+    #: whether each input tensor carries a sliced label (varies per slice)
+    input_batched: Tuple[bool, ...]
+
+
+def compile_plan(plan: ContractionPlan) -> CompiledPlan:
+    """Lower a plan's steps to integer einsum subscripts, once.
+
+    Labels are remapped to a dense integer range *per step* (so the
+    global index count never hits the 52-symbol einsum alphabet), with
+    ``0`` reserved for the batch axis of
+    :func:`contract_slices_batched`.  Backends memoise the result by
+    :meth:`ContractionPlan.digest`, so Algorithm I's thousands of
+    structurally identical contractions — and all 8192 slices of a
+    sliced plan — pay the lowering exactly once.
+    """
+    sliced = set(plan.slices)
+    ops: List[Tuple[str, ...]] = [
+        tuple(lab for lab in labs if lab not in sliced)
+        for labs in plan.inputs
+    ]
+    batched: List[bool] = [
+        any(lab in sliced for lab in labs) for labs in plan.inputs
+    ]
+    input_batched = tuple(batched)
+    steps: List[CompiledStep] = []
+    for step in plan.steps:
+        a, b = ops[step.lhs], ops[step.rhs]
+        a_batched, b_batched = batched[step.lhs], batched[step.rhs]
+        mapping: Dict[str, int] = {}
+        for label in a + b:
+            mapping.setdefault(label, len(mapping) + 1)  # 0 = batch axis
+        lhs_subs = tuple(mapping[lab] for lab in a)
+        rhs_subs = tuple(mapping[lab] for lab in b)
+        out_subs = tuple(mapping[lab] for lab in step.output)
+        out_batched = a_batched or b_batched
+        steps.append(CompiledStep(
+            lhs=step.lhs,
+            rhs=step.rhs,
+            subscripts=(lhs_subs, rhs_subs, out_subs),
+            batched_subscripts=(
+                (0,) + lhs_subs if a_batched else lhs_subs,
+                (0,) + rhs_subs if b_batched else rhs_subs,
+                (0,) + out_subs if out_batched else out_subs,
+            ),
+            out_batched=out_batched,
+            output_size=step.output_size,
+        ))
+        for seq in (ops, batched):
+            del seq[step.rhs]
+            del seq[step.lhs]
+        ops.append(step.output)
+        batched.append(out_batched)
+    return CompiledPlan(steps=tuple(steps), input_batched=input_batched)
+
+
+#: Process-wide compiled-plan memo, keyed by
+#: :meth:`ContractionPlan.digest` — shared across backend instances and
+#: warm inside worker processes.  Bounded defensively; real workloads
+#: hold a handful of plans.
+_COMPILED_MEMO: Dict[str, CompiledPlan] = {}
+_COMPILED_MEMO_CAP = 512
+
+
+def compiled_for(plan: ContractionPlan) -> CompiledPlan:
+    """The lowered form of ``plan``, computed once per digest."""
+    digest = plan.digest()
+    compiled = _COMPILED_MEMO.get(digest)
+    if compiled is None:
+        if len(_COMPILED_MEMO) >= _COMPILED_MEMO_CAP:
+            _COMPILED_MEMO.clear()
+        compiled = compile_plan(plan)
+        _COMPILED_MEMO[digest] = compiled
+    return compiled
+
+
+# --- execution kernels ------------------------------------------------------
+
+
+def _observe(
+    stats: Optional[ContractionStats], rank: int, size: int
+) -> None:
+    if stats is None:
+        return
+    stats.num_pairwise_contractions += 1
+    stats.max_intermediate_rank = max(stats.max_intermediate_rank, rank)
+    stats.max_intermediate_size = max(stats.max_intermediate_size, size)
+
+
+def contract_slices_looped(
+    xp: ArrayNamespace,
+    plan: ContractionPlan,
+    compiled: CompiledPlan,
+    applier,
+    assignments,
+    stats: Optional[ContractionStats] = None,
+) -> complex:
+    """Reference slice loop over precompiled subscripts.
+
+    ``applier`` is a :class:`~repro.tensornet.planner.SliceApplier`; each
+    assignment fixes the sliced axes on the host, the operands move to
+    the device, and one einsum per step contracts them.
+    """
+    total = 0j
+    for assignment in assignments:
+        ops = [xp.from_host(t.data) for t in applier(assignment)]
+        for cstep in compiled.steps:
+            a, b = ops[cstep.lhs], ops[cstep.rhs]
+            del ops[cstep.rhs]
+            del ops[cstep.lhs]
+            lhs_subs, rhs_subs, out_subs = cstep.subscripts
+            merged = xp.einsum(
+                a, list(lhs_subs), b, list(rhs_subs), list(out_subs)
+            )
+            _observe(stats, len(out_subs), xp.size_of(merged))
+            ops.append(merged)
+        total += xp.sum_scalar(ops[0])
+    return total
+
+
+def contract_slices_batched(
+    xp: ArrayNamespace,
+    plan: ContractionPlan,
+    compiled: CompiledPlan,
+    applier: BatchedSliceApplier,
+    assignments: Sequence[Dict[str, int]],
+    slice_batch: int,
+    stats: Optional[ContractionStats] = None,
+) -> complex:
+    """Contract slice assignments in batches of ``slice_batch``.
+
+    Each batch gathers every slice-varying tensor along a leading batch
+    axis (one advanced-indexing gather per tensor, on-device) and runs
+    one einsum per plan step with the shared batch label — so a chunk of
+    B slices costs ``len(plan.steps)`` kernels instead of
+    ``B × len(plan.steps)`` Python-level contractions.  Partial sums
+    accumulate in assignment order (ragged final batches included), so
+    the result agrees with the looped reference to float association.
+
+    Peak memory is ``slice_batch × max`` per-slice intermediate — the
+    bound callers pick ``slice_batch`` against.
+    """
+    if slice_batch < 1:
+        raise ValueError("slice_batch must be at least 1")
+    total = 0j
+    n = len(assignments)
+    for start in range(0, n, slice_batch):
+        chunk = assignments[start:start + slice_batch]
+        ops = applier.gather(xp, chunk)
+        for cstep in compiled.steps:
+            a, b = ops[cstep.lhs], ops[cstep.rhs]
+            del ops[cstep.rhs]
+            del ops[cstep.lhs]
+            lhs_subs, rhs_subs, out_subs = cstep.batched_subscripts
+            merged = xp.einsum(
+                a, list(lhs_subs), b, list(rhs_subs), list(out_subs)
+            )
+            # Stats keep their established *per-slice* semantics (the
+            # slicing bound and plan.peak_size() are per-slice figures):
+            # divide the batch axis back out and drop its rank.  The
+            # batch memory multiplier is visible via slice_batch and
+            # batched_slice_calls.
+            size = xp.size_of(merged)
+            if cstep.out_batched:
+                size //= len(chunk)
+            _observe(stats, len(cstep.subscripts[2]), size)
+            ops.append(merged)
+        value = xp.sum_scalar(ops[0])
+        if compiled.steps and not compiled.steps[-1].out_batched:
+            # Unreachable for circuit networks (a sliced label always
+            # reaches the final merge), kept for plan generality: an
+            # unbatched final operand contributes once per slice.
+            value *= len(chunk)
+        total += value
+        if stats is not None:
+            stats.batched_slice_calls += 1
+    return total

@@ -71,7 +71,7 @@ from .api import (
     NoiseSpec,
     ReproError,
 )
-from .backends import available_backends
+from .backends import available_backends, backend_availability
 from .cache import CheckCache, DiskStore, count_by_kind
 from .circuits import qasm
 from .core import StatsAggregator
@@ -190,6 +190,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_args(serve)
 
+    backends = sub.add_parser(
+        "backends",
+        help="list registered contraction backends and their availability",
+    )
+    backends.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON object mapping backend name to availability",
+    )
+
     cache = sub.add_parser(
         "cache", help="inspect and manage the content-addressed disk cache"
     )
@@ -270,6 +279,18 @@ def _add_engine_args(
         "--max-intermediate", type=int, default=None, metavar="SIZE",
         help="slice plans so no intermediate tensor exceeds SIZE elements",
     )
+    if include_backend:
+        sub.add_argument(
+            "--device", default=None, metavar="DEVICE",
+            help="device the backend's numerics run on (e.g. 'cpu', "
+            "'cuda', 'cuda:1'; accelerator devices need the "
+            "einsum-torch/einsum-cupy backend)",
+        )
+        sub.add_argument(
+            "--slice-batch", type=int, default=None, metavar="N",
+            help="slices contracted per batched kernel sweep (default: "
+            "auto-size against the memory budget; 1 = per-slice loop)",
+        )
 
 
 def _add_cache_args(sub: argparse.ArgumentParser) -> None:
@@ -323,6 +344,10 @@ def _config_overrides(args) -> dict:
         overrides["algorithm"] = args.algorithm
     if getattr(args, "backend", None) is not None:
         overrides["backend"] = args.backend
+    if getattr(args, "device", None) is not None:
+        overrides["device"] = args.device
+    if getattr(args, "slice_batch", None) is not None:
+        overrides["slice_batch"] = args.slice_batch
     return overrides
 
 
@@ -434,6 +459,22 @@ def cmd_plan(args) -> int:
     if cache_state is not None:
         print(f"plan cache       : {cache_state}")
     print(plan.report(max_steps=args.max_steps))
+    return 0
+
+
+def cmd_backends(args) -> int:
+    availability = backend_availability()
+    if args.json:
+        print(json.dumps({
+            name: {"available": missing is None, "missing": missing}
+            for name, missing in availability.items()
+        }))
+        return 0
+    for name, missing in availability.items():
+        if missing is None:
+            print(f"{name:14s} available")
+        else:
+            print(f"{name:14s} unavailable ({missing})")
     return 0
 
 
@@ -708,6 +749,8 @@ def main(argv=None) -> int:
         return cmd_serve(args)
     if args.command == "cache":
         return cmd_cache(args)
+    if args.command == "backends":
+        return cmd_backends(args)
     raise AssertionError("unreachable")
 
 

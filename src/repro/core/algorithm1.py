@@ -123,6 +123,7 @@ def fidelity_individual(
     stats = RunStats(
         algorithm="alg1",
         backend=engine.name,
+        device=getattr(engine, "resolved_device", None) or "cpu",
         terms_total=noisy.num_kraus_terms,
     )
     start = time.perf_counter()
@@ -174,6 +175,7 @@ def fidelity_individual(
             stats.predicted_peak_size, cstats.predicted_peak_size
         )
         stats.slice_count = max(stats.slice_count, cstats.slice_count)
+        stats.batched_slice_calls += cstats.batched_slice_calls
         total += abs(trace) ** 2
         stats.terms_computed += 1
         stats.term_times.append(time.perf_counter() - term_start)

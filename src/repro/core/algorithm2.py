@@ -46,7 +46,12 @@ def fidelity_collective(
         max_intermediate_size=max_intermediate_size,
     )
     dim = 2**ideal.num_qubits
-    stats = RunStats(algorithm="alg2", backend=engine.name, terms_total=1)
+    stats = RunStats(
+        algorithm="alg2",
+        backend=engine.name,
+        device=getattr(engine, "resolved_device", None) or "cpu",
+        terms_total=1,
+    )
     start = time.perf_counter()
 
     network = alg2_trace_network(
@@ -59,6 +64,7 @@ def fidelity_collective(
     stats.predicted_cost = cstats.predicted_cost
     stats.predicted_peak_size = cstats.predicted_peak_size
     stats.slice_count = cstats.slice_count
+    stats.batched_slice_calls = cstats.batched_slice_calls
 
     stats.terms_computed = 1
     stats.time_seconds = time.perf_counter() - start

@@ -22,7 +22,12 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Tuple, Union
 
-from ..backends import ContractionBackend, available_backends, resolve_backend
+from ..backends import (
+    ContractionBackend,
+    available_backends,
+    backend_availability,
+    resolve_backend,
+)
 from ..cache import CheckCache
 from ..circuits import QuantumCircuit
 from ..tensornet.ordering import ORDER_HEURISTICS
@@ -84,6 +89,12 @@ class CheckConfig:
     #: disk-tier directory (None = $REPRO_CACHE_DIR or ~/.cache/repro);
     #: only consulted when ``cache`` is on
     cache_dir: Optional[str] = None
+    #: device the backend's numerics run on (None = backend default,
+    #: i.e. the host CPU; 'cuda'/'cuda:N' need einsum-torch/einsum-cupy)
+    device: Optional[str] = None
+    #: slices contracted per batched kernel sweep (None = auto-size
+    #: against the memory budget, 1 = per-slice reference loop)
+    slice_batch: Optional[int] = None
 
     def __post_init__(self):
         if not 0.0 <= self.epsilon <= 1.0:
@@ -94,10 +105,17 @@ class CheckConfig:
                 f"choose from {list(_ALGORITHMS)}"
             )
         if isinstance(self.backend, str):
-            if self.backend not in available_backends():
+            availability = backend_availability()
+            if self.backend not in availability:
                 raise ValueError(
                     f"unknown backend {self.backend!r}; "
                     f"available: {', '.join(available_backends())}"
+                )
+            missing = availability[self.backend]
+            if missing is not None:
+                raise ValueError(
+                    f"backend {self.backend!r} is registered but "
+                    f"unavailable: {missing}"
                 )
         elif not isinstance(self.backend, ContractionBackend):
             raise TypeError(
@@ -120,6 +138,20 @@ class CheckConfig:
             and self.max_intermediate_size < 1
         ):
             raise ValueError("max_intermediate_size must be at least 1")
+        if self.slice_batch is not None and self.slice_batch < 1:
+            raise ValueError("slice_batch must be at least 1")
+        if (
+            self.device not in (None, "cpu")
+            and self.backend_name in ("tdd", "dense", "einsum")
+        ):
+            # Host-numpy backends fail this anyway at construction; the
+            # config-time check turns it into an invalid-config error
+            # with the fix in the message.
+            raise ValueError(
+                f"backend {self.backend_name!r} runs on the host CPU "
+                f"only, got device={self.device!r}; use "
+                "'einsum-torch'/'einsum-cupy' for accelerator devices"
+            )
         if isinstance(self.backend, ContractionBackend):
             # A ready instance keeps its own configuration; non-default
             # plan knobs on the config would be silently ignored, so
@@ -128,7 +160,13 @@ class CheckConfig:
                 field.name: field.default
                 for field in dataclasses.fields(self)
             }
-            for knob in ("order_method", "planner", "max_intermediate_size"):
+            for knob in (
+                "order_method",
+                "planner",
+                "max_intermediate_size",
+                "device",
+                "slice_batch",
+            ):
                 wanted = getattr(self, knob)
                 actual = getattr(self.backend, knob)
                 if wanted != defaults[knob] and wanted != actual:
@@ -220,6 +258,8 @@ class CheckSession:
                 planner=self.config.planner,
                 max_intermediate_size=self.config.max_intermediate_size,
                 plan_cache=plan_cache,
+                device=self.config.device,
+                slice_batch=self.config.slice_batch,
             )
         return self._backend
 

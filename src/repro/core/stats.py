@@ -46,6 +46,10 @@ class RunStats:
     predicted_peak_size: int = 0
     #: index-fixed subplan executions per contraction (1 = unsliced)
     slice_count: int = 0
+    #: device the backend's numerics ran on ("" = not recorded)
+    device: str = ""
+    #: batched einsum sweeps over slice chunks (0 = looped or unsliced)
+    batched_slice_calls: int = 0
     #: plan_for calls served from the plan cache without planning
     #: (0 whenever caching is disabled)
     plan_cache_hit: int = 0
@@ -100,10 +104,12 @@ class RunStats:
         if runs:
             algorithms = {run.algorithm for run in runs}
             backends = {run.backend for run in runs}
+            devices = {run.device for run in runs}
             merged.algorithm = (
                 algorithms.pop() if len(algorithms) == 1 else "mixed"
             )
             merged.backend = backends.pop() if len(backends) == 1 else "mixed"
+            merged.device = devices.pop() if len(devices) == 1 else "mixed"
             merged.cpu_seconds = sum(
                 run.cpu_seconds if run.cpu_seconds else run.time_seconds
                 for run in runs
@@ -117,6 +123,9 @@ class RunStats:
                 run.predicted_peak_size for run in runs
             )
             merged.slice_count = max(run.slice_count for run in runs)
+            merged.batched_slice_calls = sum(
+                run.batched_slice_calls for run in runs
+            )
             merged.plan_cache_hit = sum(run.plan_cache_hit for run in runs)
             merged.result_cache_hit = sum(
                 run.result_cache_hit for run in runs
@@ -151,6 +160,7 @@ class StatsAggregator:
         self._plan_cache_hits = 0
         self._result_cache_hits = 0
         self._terms_computed = 0
+        self._batched_slice_calls = 0
         self._max_nodes = 0
         self._max_intermediate_size = 0
         self._early_stopped = 0
@@ -174,6 +184,7 @@ class StatsAggregator:
             self._plan_cache_hits += stats.plan_cache_hit
             self._result_cache_hits += stats.result_cache_hit
             self._terms_computed += stats.terms_computed
+            self._batched_slice_calls += stats.batched_slice_calls
             self._max_nodes = max(self._max_nodes, stats.max_nodes)
             self._max_intermediate_size = max(
                 self._max_intermediate_size, stats.max_intermediate_size
@@ -191,6 +202,7 @@ class StatsAggregator:
                 "plan_cache_hits": self._plan_cache_hits,
                 "result_cache_hits": self._result_cache_hits,
                 "terms_computed": self._terms_computed,
+                "batched_slice_calls": self._batched_slice_calls,
                 "max_nodes": self._max_nodes,
                 "max_intermediate_size": self._max_intermediate_size,
                 "early_stopped": self._early_stopped,

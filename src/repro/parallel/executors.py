@@ -43,16 +43,23 @@ def chunk_assignments(
     assignments: Sequence[Dict[str, int]],
     jobs: int,
     chunk_size: Optional[int] = None,
+    align: int = 1,
 ) -> List[List[Dict[str, int]]]:
     """Split slice assignments into dispatch chunks.
 
     ``chunk_size`` wins when given; otherwise the chunk size targets
     :data:`CHUNKS_PER_JOB` chunks per worker (at least one assignment
-    per chunk).
+    per chunk).  ``align`` rounds the *auto-sized* chunk up to a whole
+    multiple, so chunks dispatched to batching backends carry complete
+    batch groups and only the final chunk runs a ragged batch.
     """
     total = len(assignments)
+    if align < 1:
+        raise ValueError("align must be at least 1")
     if chunk_size is None:
         chunk_size = max(1, -(-total // max(1, jobs * CHUNKS_PER_JOB)))
+        if align > 1:
+            chunk_size = -(-chunk_size // align) * align
     elif chunk_size < 1:
         raise ValueError("chunk_size must be at least 1")
     return [
@@ -79,6 +86,7 @@ def fold_measured_stats(
         stats.max_intermediate_size, chunk.max_intermediate_size
     )
     stats.max_nodes = max(stats.max_nodes, chunk.max_nodes)
+    stats.batched_slice_calls += chunk.batched_slice_calls
 
 
 class SliceExecutor(abc.ABC):
@@ -178,7 +186,14 @@ class ProcessSliceExecutor(SliceExecutor):
             return backend.contract_scalar(
                 network, stats=stats, plan=plan, assignments=assignments
             )
-        chunks = chunk_assignments(assignments, self.jobs, self.chunk_size)
+        # Align dispatch chunks to the backend's slice batch (whole batch
+        # groups per payload), capped so alignment never starves a worker
+        # of its chunk.
+        batch = backend.effective_slice_batch(plan)
+        align = max(1, min(batch, len(assignments) // self.jobs))
+        chunks = chunk_assignments(
+            assignments, self.jobs, self.chunk_size, align=align
+        )
         spec = backend.describe()
         # Every chunk shares one (network, plan): pickle it once here and
         # let each worker cache its deserialisation by digest, instead of

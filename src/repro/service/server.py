@@ -679,6 +679,9 @@ class ReproService:
             "repro_check_cpu_seconds_total": snapshot["cpu_seconds"],
             "repro_plan_cache_hits_total": snapshot["plan_cache_hits"],
             "repro_result_cache_hits_total": snapshot["result_cache_hits"],
+            "repro_batched_slice_calls_total": snapshot[
+                "batched_slice_calls"
+            ],
         })
         page = self.registry.render(extra=extra)
         return _Outcome(

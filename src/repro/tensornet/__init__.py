@@ -11,6 +11,7 @@ from .network import ContractionStats, TensorNetwork
 from .planner import (
     PLANNERS,
     SLICE_HARD_LIMIT,
+    BatchedSliceApplier,
     ContractionPlan,
     ContractionStep,
     SliceApplier,
@@ -35,6 +36,7 @@ __all__ = [
     "ORDER_HEURISTICS",
     "PLANNERS",
     "SLICE_HARD_LIMIT",
+    "BatchedSliceApplier",
     "CircuitNetwork",
     "ContractionPlan",
     "ContractionStats",

@@ -30,6 +30,8 @@ class ContractionStats:
     predicted_peak_size: int = 0
     #: number of index-fixed subplan executions (1 = unsliced)
     slice_count: int = 0
+    #: batched einsum sweeps over slice chunks (0 = looped or unsliced)
+    batched_slice_calls: int = 0
     extra: dict = field(default_factory=dict)
 
     def observe(self, tensor: Tensor) -> None:

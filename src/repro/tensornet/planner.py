@@ -30,10 +30,13 @@ two positions in the *current* operand list; both operands are removed
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from .network import TensorNetwork
 from .ordering import contraction_order
@@ -134,6 +137,31 @@ class ContractionPlan:
         for labs in self.inputs:
             labels.update(labs)
         return labels
+
+    def digest(self) -> str:
+        """Content digest of the plan's executable structure.
+
+        The memo key backends use for per-plan lowered forms (compiled
+        einsum subscripts, batch layouts): two plans with the same
+        inputs, dims, steps and slices share a digest, whatever network
+        object they were built from.  Computed once and cached on the
+        instance (plans are frozen; the cache rides along through
+        pickling to worker processes).
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            payload = repr((
+                self.inputs,
+                tuple(sorted(self.dims.items())),
+                tuple(
+                    (s.lhs, s.rhs, tuple(sorted(s.eliminated)), s.output)
+                    for s in self.steps
+                ),
+                self.slices,
+            )).encode()
+            cached = hashlib.sha1(payload).hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     # --- reporting ------------------------------------------------------------
 
@@ -506,6 +534,72 @@ class SliceApplier:
             for axis in positions:
                 indexer[axis] = assignment[tensor.indices[axis]]
             operands.append(Tensor(tensor.data[tuple(indexer)], kept))
+        return operands
+
+
+class BatchedSliceApplier:
+    """Slice-fixing with a leading batch axis, for batched execution.
+
+    The batched counterpart of :class:`SliceApplier`: instead of
+    producing one operand set per assignment, :meth:`gather` produces
+    one operand set per *chunk* of assignments, where every
+    slice-varying tensor gains a leading batch axis of length
+    ``len(chunk)`` and slice-independent tensors pass through unchanged
+    (einsum broadcasting mixes the two freely).
+
+    All assignment-independent work happens once at construction:
+    self-tracing, finding which tensors carry sliced axes, and
+    pre-transposing those tensors so their sliced axes lead — which
+    turns per-chunk stacking into a single advanced-indexing gather per
+    tensor.  Device placement also happens once: the first
+    :meth:`gather` against a namespace moves every base tensor to the
+    device, and later chunks only gather on-device (the "one host↔device
+    transfer per plan execution" rule of :mod:`repro.backends.xp`).
+    """
+
+    def __init__(self, tensors: Sequence[Tensor], slices: Sequence[str]):
+        sliced = set(slices)
+        #: per tensor: (host base array, sliced-label order or None,
+        #: surviving labels)
+        self._layout: List[Tuple[np.ndarray, Optional[List[str]],
+                                 List[str]]] = []
+        for tensor in (t.self_trace() for t in tensors):
+            positions = [
+                ax for ax, lab in enumerate(tensor.indices) if lab in sliced
+            ]
+            kept = [lab for lab in tensor.indices if lab not in sliced]
+            if not positions:
+                self._layout.append((tensor.data, None, kept))
+                continue
+            labels = [tensor.indices[ax] for ax in positions]
+            moved = np.ascontiguousarray(np.moveaxis(
+                tensor.data, positions, range(len(positions))
+            ))
+            self._layout.append((moved, labels, kept))
+        self._device_xp = None
+        self._device_ops: List[object] = []
+
+    def gather(self, xp, chunk: Sequence[Dict[str, int]]) -> List[object]:
+        """Operands for one chunk: batched where sliced, shared where not.
+
+        Returns one operand per tensor, ordered like the plan's inputs;
+        batched operands have shape ``(len(chunk), *kept_axes)``.
+        """
+        if self._device_xp is not xp:
+            self._device_ops = [
+                xp.from_host(data) for data, _, _ in self._layout
+            ]
+            self._device_xp = xp
+        operands: List[object] = []
+        for base, (_, labels, _) in zip(self._device_ops, self._layout):
+            if labels is None:
+                operands.append(base)
+                continue
+            indexer = tuple(
+                xp.index_array([assignment[lab] for assignment in chunk])
+                for lab in labels
+            )
+            operands.append(base[indexer])
         return operands
 
 
