@@ -35,6 +35,14 @@ over looped, and the einsum speedup is asserted to stay above
 ``MIN_BATCHED_SPEEDUP``.  When torch is installed an ``einsum-torch``
 pair of rows rides along and its fidelity is held to the same 1e-9.
 
+Since the plan-search PR a ``planning`` section races every registered
+planner (greedy, min_fill, and the budgeted anneal / hyper searches) on
+a small and a large alg-2 workload, recording predicted cost, planning
+time and trials per row.  The anytime floor is asserted everywhere, a
+funded one-second search must *strictly* beat both heuristics on the
+large workload, and a warm plan-cache rerun must replay the searched
+plan with zero trials.
+
 Since the typed-API PR an ``engine`` section records the front-door
 overhead: per-check latency of ``Engine.check(request)`` against bare
 ``CheckSession.check(ideal, noisy)`` on the same warm pair, with the
@@ -94,6 +102,12 @@ DEFAULT_JOBS = [1, 2, 4]
 #: loop by at least this factor on the einsum backend (measured ~17x on
 #: a single-core container; 5x leaves headroom for noisy CI runners).
 MIN_BATCHED_SPEEDUP = 5.0
+
+#: Search budget for the ``planning`` section — the acceptance budget:
+#: within one second, anneal or hyper must strictly beat both heuristic
+#: planners on the qft4 workload (measured: improvement by trial ~10 at
+#: hundreds of trials per second, so this holds on slow CI too).
+PLAN_SEARCH_BUDGET_SECONDS = 1.0
 
 
 def bench_cell(workload, backend_name, algorithm, repeats):
@@ -441,6 +455,137 @@ def bench_cache(repeats):
     return rows
 
 
+def bench_planning(repeats):
+    """Plan quality per planner, and the warm-cache search skip.
+
+    Every registered planner races on two alg-2 workloads: the small
+    qft3 row and the larger qft4 row (the acceptance workload).  Each
+    row records the predicted cost, the peak intermediate, the planning
+    wall clock and — for the search planners, funded with
+    :data:`PLAN_SEARCH_BUDGET_SECONDS` — the trials run.  Asserted:
+
+    * anytime floor — no search planner ever costs more than either
+      heuristic, on any workload;
+    * on the largest workload the funded search is *strictly* cheaper
+      than both greedy and min_fill;
+    * a warm plan-cache rerun replays the searched plan with zero
+      trials (the search is paid for exactly once per structure).
+    """
+    specs = [
+        ("greedy", {"planner": "greedy"}),
+        ("min_fill", {"planner": "order", "order_method": "min_fill"}),
+        ("anneal", {"planner": "anneal"}),
+        ("hyper", {"planner": "hyper"}),
+    ]
+    rows = []
+    costs = {}
+    for workload, qubits in (("qft3-2noise-alg2", 3),
+                             ("qft4-2noise-alg2", 4)):
+        ideal = qft(qubits)
+        noisy = insert_random_noise(ideal, 2, seed=0)
+        network = algorithm_network(noisy, ideal, "alg2")
+        for name, kwargs in specs:
+            search = kwargs["planner"] in ("anneal", "hyper")
+            if search:
+                kwargs = dict(
+                    kwargs,
+                    plan_budget_seconds=PLAN_SEARCH_BUDGET_SECONDS,
+                    plan_seed=0,
+                )
+            best = None
+            plan = None
+            # the budget *is* the wall clock for search planners: one
+            # funded run each, best-of-repeats for the heuristics
+            for _ in range(1 if search else repeats):
+                start = time.perf_counter()
+                plan = build_plan(network, **kwargs)
+                seconds = time.perf_counter() - start
+                if best is None or seconds < best:
+                    best = seconds
+            report = plan.search_report
+            costs[(workload, name)] = plan.total_cost()
+            rows.append({
+                "workload": workload,
+                "planner": name,
+                "predicted_cost": plan.total_cost(),
+                "peak_intermediate_size": plan.peak_size(),
+                "plan_seconds": best,
+                "budget_seconds": (
+                    PLAN_SEARCH_BUDGET_SECONDS if search else None
+                ),
+                "trials": report.trials if report else None,
+            })
+            trials = "-" if report is None else str(report.trials)
+            print(
+                f"planning {workload:18s} {name:9s} "
+                f"cost {plan.total_cost():>10d}  "
+                f"plan {best:7.3f}s  trials {trials:>5s}"
+            )
+    for (workload, name), cost in costs.items():
+        if name in ("anneal", "hyper"):
+            floor = min(costs[(workload, "greedy")],
+                        costs[(workload, "min_fill")])
+            if cost > floor:
+                raise AssertionError(
+                    f"{workload}/{name}: searched cost {cost} above the "
+                    f"heuristic floor {floor} — anytime guarantee broken"
+                )
+    large = "qft4-2noise-alg2"
+    heuristic_best = min(costs[(large, "greedy")],
+                         costs[(large, "min_fill")])
+    searched_best = min(costs[(large, "anneal")], costs[(large, "hyper")])
+    if searched_best >= heuristic_best:
+        raise AssertionError(
+            f"{large}: funded search ({searched_best}) failed to beat "
+            f"the heuristics ({heuristic_best})"
+        )
+
+    # warm plan-cache rerun: the search must run exactly once
+    ideal = qft(4)
+    noisy = insert_random_noise(ideal, 2, seed=0)
+    network = algorithm_network(noisy, ideal, "alg2")
+    knobs = dict(
+        planner="anneal",
+        plan_budget_seconds=PLAN_SEARCH_BUDGET_SECONDS,
+        plan_seed=0,
+    )
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-plan-cache-")
+    try:
+        cold = get_backend("einsum", plan_cache=cache_dir, **knobs)
+        start = time.perf_counter()
+        cold.plan_for(network)
+        cold_seconds = time.perf_counter() - start
+        warm = get_backend("einsum", plan_cache=cache_dir, **knobs)
+        start = time.perf_counter()
+        warm.plan_for(network)
+        warm_seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    if warm.plan_cache_hits != 1:
+        raise AssertionError("warm plan rerun missed the plan cache")
+    if warm.plan_trials_total != 0:
+        raise AssertionError("warm plan rerun re-ran the search")
+    warm_rerun = {
+        "workload": large,
+        "planner": "anneal",
+        "cold_plan_seconds": cold_seconds,
+        "cold_trials": cold.plan_trials_total,
+        "warm_plan_seconds": warm_seconds,
+        "warm_trials": warm.plan_trials_total,
+        "plan_cache_hit": warm.plan_cache_hits,
+    }
+    print(
+        f"planning warm rerun: cold {cold_seconds:7.3f}s "
+        f"({cold.plan_trials_total} trials) -> "
+        f"warm {warm_seconds:7.3f}s (0 trials, cache hit)"
+    )
+    return {
+        "budget_seconds": PLAN_SEARCH_BUDGET_SECONDS,
+        "rows": rows,
+        "warm_rerun": warm_rerun,
+    }
+
+
 def bench_engine_overhead(repeats, num_checks=50):
     """Per-check latency of the Engine front door vs a bare session.
 
@@ -546,6 +691,8 @@ def main(argv=None) -> int:
     report["batched"] = bench_batched(args.repeats)
 
     report["cache"] = bench_cache(args.repeats)
+
+    report["planning"] = bench_planning(args.repeats)
 
     report["engine"] = bench_engine_overhead(args.repeats)
 

@@ -23,7 +23,9 @@ terms.
 from __future__ import annotations
 
 import abc
+import math
 import os
+import time
 import warnings
 from typing import (
     TYPE_CHECKING,
@@ -66,6 +68,42 @@ def _coerce_plan_cache(
     )
 
 
+def validate_plan_budget_seconds(value: Optional[float]) -> None:
+    """Validate a ``plan_budget_seconds`` knob (shared with CheckConfig).
+
+    Valid values: ``None`` (use the search default) or a finite number
+    of seconds >= 0 (``0`` = baseline only, no search trials).
+    """
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(
+            f"plan_budget_seconds must be a number of seconds >= 0 or "
+            f"None (the search default), got {type(value).__name__} "
+            f"{value!r}"
+        )
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(
+            f"plan_budget_seconds must be a finite number of seconds "
+            f">= 0 or None (the search default), got {value!r}"
+        )
+
+
+def validate_plan_seed(value: int) -> None:
+    """Validate a ``plan_seed`` knob (shared with CheckConfig).
+
+    Valid values: any integer >= 0 (seeds the per-trial RNG streams of
+    the search planners).
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(
+            f"plan_seed must be an integer >= 0, got "
+            f"{type(value).__name__} {value!r}"
+        )
+    if value < 0:
+        raise ValueError(f"plan_seed must be an integer >= 0, got {value!r}")
+
+
 class ContractionBackend(abc.ABC):
     """Contracts closed tensor networks to scalars.
 
@@ -82,9 +120,20 @@ class ContractionBackend(abc.ABC):
         structure and stay cached either way.
     planner:
         Plan construction strategy: ``"order"`` (derive pairwise steps
-        from the ``order_method`` elimination order) or ``"greedy"``
-        (cost-greedy pairwise planner).  See
-        :data:`repro.tensornet.planner.PLANNERS`.
+        from the ``order_method`` elimination order), ``"greedy"``
+        (cost-greedy pairwise planner), or one of the budgeted search
+        planners ``"anneal"``/``"hyper"`` (randomized restarts under
+        ``plan_budget_seconds``, never worse than the heuristic
+        baseline).  See :data:`repro.tensornet.planner.PLANNERS`.
+    plan_budget_seconds:
+        Wall-clock budget for the search planners (ignored by
+        ``order``/``greedy``).  ``None`` (the default) uses
+        :data:`repro.planning.DEFAULT_PLAN_BUDGET_SECONDS`; ``0``
+        returns the heuristic baseline without searching.
+    plan_seed:
+        Seed for the search planners' randomized trials (ignored by
+        ``order``/``greedy``); identical seeds replay identical trial
+        sequences.
     max_intermediate_size:
         When set, plans are sliced so no intermediate tensor exceeds this
         many elements (:func:`repro.tensornet.planner.slice_plan`);
@@ -139,6 +188,8 @@ class ContractionBackend(abc.ABC):
         plan_cache: Union[None, PlanCache, str, os.PathLike] = None,
         device: Optional[str] = None,
         slice_batch: Optional[int] = None,
+        plan_budget_seconds: Optional[float] = None,
+        plan_seed: int = 0,
     ):
         if order_method not in ORDER_HEURISTICS:
             raise ValueError(
@@ -154,12 +205,16 @@ class ContractionBackend(abc.ABC):
             raise ValueError("max_intermediate_size must be at least 1")
         if slice_batch is not None and slice_batch < 1:
             raise ValueError("slice_batch must be at least 1")
+        validate_plan_budget_seconds(plan_budget_seconds)
+        validate_plan_seed(plan_seed)
         self.device = device
         self.slice_batch = slice_batch
         self.order_method = order_method
         self.share_intermediates = share_intermediates
         self.planner = planner
         self.max_intermediate_size = max_intermediate_size
+        self.plan_budget_seconds = plan_budget_seconds
+        self.plan_seed = plan_seed
         self.executor = executor
         self.plan_cache = _coerce_plan_cache(plan_cache)
         #: plan_for calls served without running a planner (any tier:
@@ -169,6 +224,13 @@ class ContractionBackend(abc.ABC):
         self.plan_cache_hits = 0
         #: plan_for calls that had to run a planner despite the cache.
         self.plan_cache_misses = 0
+        #: cumulative wall-clock seconds spent inside :meth:`plan_for`
+        #: (cache lookups, heuristics and search trials alike) — the
+        #: session turns deltas of this into ``RunStats.planning_seconds``.
+        self.planning_seconds_total = 0.0
+        #: cumulative search trials run by fresh plan builds; cache hits
+        #: add nothing (the whole point of persisting searched plans).
+        self.plan_trials_total = 0
         self._plan_cache: Dict[tuple, ContractionPlan] = {}
 
     @abc.abstractmethod
@@ -226,43 +288,56 @@ class ContractionBackend(abc.ABC):
         backend instance, and feeds fresh plans back for every other
         process to reuse.
         """
-        key = (
-            network.structure_key(),
-            tuple(t.data.shape for t in network.tensors),
-        )
-        plan = self._plan_cache.get(key)
-        if plan is not None:
-            if self.plan_cache is not None:
-                self.plan_cache_hits += 1
-            return plan
-        if self.plan_cache is not None:
-            plan = self.plan_cache.get(
-                network,
-                planner=self.planner,
-                order_method=self.order_method,
-                max_intermediate_size=self.max_intermediate_size,
+        started = time.perf_counter()
+        try:
+            key = (
+                network.structure_key(),
+                tuple(t.data.shape for t in network.tensors),
             )
+            plan = self._plan_cache.get(key)
             if plan is not None:
-                self.plan_cache_hits += 1
-                self._plan_cache[key] = plan
+                if self.plan_cache is not None:
+                    self.plan_cache_hits += 1
                 return plan
-        plan = build_plan(
-            network,
-            planner=self.planner,
-            order_method=self.order_method,
-            max_intermediate_size=self.max_intermediate_size,
-        )
-        self._plan_cache[key] = plan
-        if self.plan_cache is not None:
-            self.plan_cache_misses += 1
-            self.plan_cache.put(
+            if self.plan_cache is not None:
+                plan = self.plan_cache.get(
+                    network,
+                    planner=self.planner,
+                    order_method=self.order_method,
+                    max_intermediate_size=self.max_intermediate_size,
+                    plan_budget_seconds=self.plan_budget_seconds,
+                    plan_seed=self.plan_seed,
+                )
+                if plan is not None:
+                    self.plan_cache_hits += 1
+                    self._plan_cache[key] = plan
+                    return plan
+            plan = build_plan(
                 network,
-                plan,
                 planner=self.planner,
                 order_method=self.order_method,
                 max_intermediate_size=self.max_intermediate_size,
+                plan_budget_seconds=self.plan_budget_seconds,
+                plan_seed=self.plan_seed,
             )
-        return plan
+            report = getattr(plan, "search_report", None)
+            if report is not None:
+                self.plan_trials_total += report.trials
+            self._plan_cache[key] = plan
+            if self.plan_cache is not None:
+                self.plan_cache_misses += 1
+                self.plan_cache.put(
+                    network,
+                    plan,
+                    planner=self.planner,
+                    order_method=self.order_method,
+                    max_intermediate_size=self.max_intermediate_size,
+                    plan_budget_seconds=self.plan_budget_seconds,
+                    plan_seed=self.plan_seed,
+                )
+            return plan
+        finally:
+            self.planning_seconds_total += time.perf_counter() - started
 
     def order_for(self, network: TensorNetwork) -> List[str]:
         """Index elimination order behind the cached plan.
@@ -385,6 +460,8 @@ class ContractionBackend(abc.ABC):
             "share_intermediates": self.share_intermediates,
             "planner": self.planner,
             "max_intermediate_size": self.max_intermediate_size,
+            "plan_budget_seconds": self.plan_budget_seconds,
+            "plan_seed": self.plan_seed,
             "plan_cache": plan_cache,
             "device": self.device,
             "slice_batch": self.slice_batch,
@@ -399,8 +476,9 @@ class ContractionBackend(abc.ABC):
 
 #: Factories must accept the protocol keywords ``order_method``,
 #: ``share_intermediates``, ``planner``, ``max_intermediate_size``,
-#: ``executor``, ``plan_cache``, ``device`` and ``slice_batch`` (extra
-#: keywords are backend-specific).
+#: ``executor``, ``plan_cache``, ``device``, ``slice_batch``,
+#: ``plan_budget_seconds`` and ``plan_seed`` (extra keywords are
+#: backend-specific).
 BackendFactory = Callable[..., ContractionBackend]
 
 _REGISTRY: Dict[str, BackendFactory] = {}

@@ -44,6 +44,8 @@ class TddBackend(ContractionBackend):
         plan_cache=None,
         device: Optional[str] = None,
         slice_batch: Optional[int] = None,
+        plan_budget_seconds: Optional[float] = None,
+        plan_seed: int = 0,
     ):
         if device not in (None, "cpu"):
             raise ValueError(
@@ -58,7 +60,7 @@ class TddBackend(ContractionBackend):
         super().__init__(
             order_method, share_intermediates, planner,
             max_intermediate_size, executor, plan_cache,
-            device, slice_batch,
+            device, slice_batch, plan_budget_seconds, plan_seed,
         )
         self._manager: Optional[TddManager] = None
         #: id(tensor) -> (tensor, Tdd); entries survive only for tensors

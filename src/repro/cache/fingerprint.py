@@ -39,8 +39,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Version salt folded into every fingerprint.  Bumping it invalidates
 #: the whole cache at key-derivation level (old entries are never read
-#: and eventually fall to ``prune``).
-CACHE_VERSION = 1
+#: and eventually fall to ``prune``).  v2: plans gained the
+#: ``search_report`` provenance field and plan keys the search knobs.
+CACHE_VERSION = 2
 
 
 def _new_hash(kind: str) -> "hashlib._Hash":
@@ -129,20 +130,31 @@ def plan_key(
     planner: str,
     order_method: str,
     max_intermediate_size,
+    plan_budget_seconds=None,
+    plan_seed: int = 0,
 ) -> str:
     """Store key of a contraction plan.
 
-    A plan is a pure function of the network structure and the three
-    planning knobs.  The greedy planner never consults the order
-    heuristic, so ``order_method`` is normalised out of its keys —
-    greedy plans built under different heuristics are shared.
+    A plan is a pure function of the network structure and the planning
+    knobs that its planner actually consults, so inert knobs are
+    normalised out of the key: the greedy and search planners never use
+    the order heuristic (greedy plans built under different heuristics
+    are shared), and only the search planners fold in the budget and
+    seed — a zero-budget search stores its baseline under a different
+    key than a funded one, so it can never mask the searched plan.
     """
+    from ..tensornet.planner import SEARCH_PLANNERS
+
     digest = _new_hash("plan")
     digest.update(planner.encode())
     digest.update(
         order_method.encode() if planner == "order" else b"-"
     )
     digest.update(str(max_intermediate_size).encode())
+    if planner in SEARCH_PLANNERS:
+        digest.update(
+            f"budget={plan_budget_seconds!r}:seed={plan_seed!r}".encode()
+        )
     digest.update(structure_fp.encode())
     return f"plan-{digest.hexdigest()}"
 

@@ -2,11 +2,14 @@
 
 A :class:`PlanCache` adapts a byte :class:`~repro.cache.store.CacheStore`
 to :class:`~repro.tensornet.planner.ContractionPlan` objects.  Keys are
-``(structure fingerprint, planner, order_method, max_intermediate_size)``
-— see :func:`repro.cache.fingerprint.plan_key` — so every process that
-ever met a structurally identical network shares the (possibly
-expensive) min-fill / tree-decomposition planning pass through the disk
-tier.
+``(structure fingerprint, planner, order_method, max_intermediate_size,
+plan_budget_seconds, plan_seed)`` — see
+:func:`repro.cache.fingerprint.plan_key` — so every process that ever
+met a structurally identical network shares the (possibly expensive)
+min-fill / tree-decomposition / budgeted-search planning pass through
+the disk tier; searched plans carry their
+:class:`~repro.planning.PlanSearchReport` into the cache, so a warm
+replica knows how its plan was found without ever re-searching.
 
 On top of the store the adapter keeps a small object-level LRU memo:
 store tiers hold pickled bytes, and Algorithm I resolves the same plan
@@ -60,6 +63,8 @@ class PlanCache:
         planner: str,
         order_method: str,
         max_intermediate_size: Optional[int],
+        plan_budget_seconds=None,
+        plan_seed: int = 0,
     ) -> str:
         """The store key for ``network`` under the given planning knobs."""
         return plan_key(
@@ -67,6 +72,8 @@ class PlanCache:
             planner,
             order_method,
             max_intermediate_size,
+            plan_budget_seconds=plan_budget_seconds,
+            plan_seed=plan_seed,
         )
 
     def get(
@@ -76,6 +83,8 @@ class PlanCache:
         planner: str,
         order_method: str,
         max_intermediate_size: Optional[int],
+        plan_budget_seconds=None,
+        plan_seed: int = 0,
     ) -> Optional["ContractionPlan"]:
         """The cached plan for ``network``, or ``None`` on a miss."""
         key = self.key_for(
@@ -83,6 +92,8 @@ class PlanCache:
             planner=planner,
             order_method=order_method,
             max_intermediate_size=max_intermediate_size,
+            plan_budget_seconds=plan_budget_seconds,
+            plan_seed=plan_seed,
         )
         plan = self._memo.get(key)
         if plan is not None:
@@ -110,6 +121,8 @@ class PlanCache:
         planner: str,
         order_method: str,
         max_intermediate_size: Optional[int],
+        plan_budget_seconds=None,
+        plan_seed: int = 0,
     ):
         """The cached plan, or ``builder()``'s plan stored and returned.
 
@@ -122,6 +135,8 @@ class PlanCache:
             planner=planner,
             order_method=order_method,
             max_intermediate_size=max_intermediate_size,
+            plan_budget_seconds=plan_budget_seconds,
+            plan_seed=plan_seed,
         )
         plan = self.get(network, **knobs)
         if plan is not None:
@@ -138,6 +153,8 @@ class PlanCache:
         planner: str,
         order_method: str,
         max_intermediate_size: Optional[int],
+        plan_budget_seconds=None,
+        plan_seed: int = 0,
     ) -> None:
         """Store a freshly built plan under its structure key."""
         key = self.key_for(
@@ -145,6 +162,8 @@ class PlanCache:
             planner=planner,
             order_method=order_method,
             max_intermediate_size=max_intermediate_size,
+            plan_budget_seconds=plan_budget_seconds,
+            plan_seed=plan_seed,
         )
         self.store.put(key, pickle.dumps(plan, pickle.HIGHEST_PROTOCOL))
         self._remember(key, plan)

@@ -158,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the plan as one JSON object instead of the report",
     )
+    plan.add_argument(
+        "--compare", action="store_true",
+        help="race every registered planner on the network and print a "
+        "cost/time table instead of one plan report (ignores --cache)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -279,6 +284,17 @@ def _add_engine_args(
         "--max-intermediate", type=int, default=None, metavar="SIZE",
         help="slice plans so no intermediate tensor exceeds SIZE elements",
     )
+    sub.add_argument(
+        "--plan-budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget of the search planners (anneal/hyper); "
+        "0 returns their heuristic baseline, default is the search "
+        "default budget; ignored by order/greedy",
+    )
+    sub.add_argument(
+        "--plan-seed", type=int, default=None, metavar="N",
+        help="seed of the search planners' randomized trials (fixed "
+        "seed = reproducible searched plans; ignored by order/greedy)",
+    )
     if include_backend:
         sub.add_argument(
             "--device", default=None, metavar="DEVICE",
@@ -348,6 +364,10 @@ def _config_overrides(args) -> dict:
         overrides["device"] = args.device
     if getattr(args, "slice_batch", None) is not None:
         overrides["slice_batch"] = args.slice_batch
+    if getattr(args, "plan_budget", None) is not None:
+        overrides["plan_budget_seconds"] = args.plan_budget
+    if getattr(args, "plan_seed", None) is not None:
+        overrides["plan_seed"] = args.plan_seed
     return overrides
 
 
@@ -424,6 +444,9 @@ def cmd_plan(args) -> int:
 
     ideal, noisy = load_noisy(args)
     network = algorithm_network(noisy, ideal, args.algorithm)
+    plan_seed = args.plan_seed if args.plan_seed is not None else 0
+    if args.compare:
+        return _cmd_plan_compare(args, network, plan_seed)
 
     def build():
         return build_plan(
@@ -431,6 +454,8 @@ def cmd_plan(args) -> int:
             planner=args.planner,
             order_method=args.order_method,
             max_intermediate_size=args.max_intermediate,
+            plan_budget_seconds=args.plan_budget,
+            plan_seed=plan_seed,
         )
 
     cache_state = None
@@ -441,6 +466,8 @@ def cmd_plan(args) -> int:
             planner=args.planner,
             order_method=args.order_method,
             max_intermediate_size=args.max_intermediate,
+            plan_budget_seconds=args.plan_budget,
+            plan_seed=plan_seed,
         )
     else:
         plan = build()
@@ -459,6 +486,59 @@ def cmd_plan(args) -> int:
     if cache_state is not None:
         print(f"plan cache       : {cache_state}")
     print(plan.report(max_steps=args.max_steps))
+    return 0
+
+
+def _cmd_plan_compare(args, network, plan_seed: int) -> int:
+    """Race every registered planner on one network (``plan --compare``).
+
+    Search planners run under ``--plan-budget``/``--plan-seed``; the
+    heuristic planners plan as usual.  The cheapest plan is starred.
+    """
+    rows = []
+    for planner in PLANNERS:
+        started = time.perf_counter()
+        plan = build_plan(
+            network,
+            planner=planner,
+            order_method=args.order_method,
+            max_intermediate_size=args.max_intermediate,
+            plan_budget_seconds=args.plan_budget,
+            plan_seed=plan_seed,
+        )
+        seconds = time.perf_counter() - started
+        report = plan.search_report
+        rows.append({
+            "planner": planner,
+            "order_method": (
+                args.order_method if planner == "order" else None
+            ),
+            "total_cost": plan.total_cost(),
+            "peak_intermediate_size": plan.peak_size(),
+            "num_slices": plan.num_slices(),
+            "plan_seconds": seconds,
+            "trials": report.trials if report is not None else None,
+        })
+    best_cost = min(row["total_cost"] for row in rows)
+    for row in rows:
+        row["best"] = row["total_cost"] == best_cost
+    if args.json:
+        print(json.dumps({"algorithm": args.algorithm, "planners": rows}))
+        return 0
+    print(f"algorithm        : {args.algorithm}")
+    print(
+        f"{'planner':<10} {'cost':>14} {'peak':>10} {'slices':>7} "
+        f"{'time_s':>8} {'trials':>7}"
+    )
+    for row in rows:
+        name = row["planner"] + ("*" if row["best"] else "")
+        trials = "-" if row["trials"] is None else str(row["trials"])
+        print(
+            f"{name:<10} {row['total_cost']:>14} "
+            f"{row['peak_intermediate_size']:>10} "
+            f"{row['num_slices']:>7} {row['plan_seconds']:>8.3f} "
+            f"{trials:>7}"
+        )
     return 0
 
 

@@ -28,6 +28,10 @@ from ..backends import (
     backend_availability,
     resolve_backend,
 )
+from ..backends.base import (
+    validate_plan_budget_seconds,
+    validate_plan_seed,
+)
 from ..cache import CheckCache
 from ..circuits import QuantumCircuit
 from ..tensornet.ordering import ORDER_HEURISTICS
@@ -67,7 +71,8 @@ class CheckConfig:
     backend: Union[str, ContractionBackend] = "tdd"
     #: index elimination order heuristic
     order_method: str = "tree_decomposition"
-    #: contraction-plan strategy ('order' or 'greedy')
+    #: contraction-plan strategy: 'order', 'greedy', or a budgeted
+    #: search planner ('anneal'/'hyper', see repro.planning)
     planner: str = "order"
     #: slice plans so no intermediate exceeds this many elements
     max_intermediate_size: Optional[int] = None
@@ -95,6 +100,12 @@ class CheckConfig:
     #: slices contracted per batched kernel sweep (None = auto-size
     #: against the memory budget, 1 = per-slice reference loop)
     slice_batch: Optional[int] = None
+    #: wall-clock budget for the search planners (None = their default;
+    #: 0 = heuristic baseline only; ignored by 'order'/'greedy')
+    plan_budget_seconds: Optional[float] = None
+    #: seed of the search planners' randomized trials (ignored by
+    #: 'order'/'greedy'); fixed seed = reproducible searched plans
+    plan_seed: int = 0
 
     def __post_init__(self):
         if not 0.0 <= self.epsilon <= 1.0:
@@ -140,6 +151,8 @@ class CheckConfig:
             raise ValueError("max_intermediate_size must be at least 1")
         if self.slice_batch is not None and self.slice_batch < 1:
             raise ValueError("slice_batch must be at least 1")
+        validate_plan_budget_seconds(self.plan_budget_seconds)
+        validate_plan_seed(self.plan_seed)
         if (
             self.device not in (None, "cpu")
             and self.backend_name in ("tdd", "dense", "einsum")
@@ -166,6 +179,8 @@ class CheckConfig:
                 "max_intermediate_size",
                 "device",
                 "slice_batch",
+                "plan_budget_seconds",
+                "plan_seed",
             ):
                 wanted = getattr(self, knob)
                 actual = getattr(self.backend, knob)
@@ -260,6 +275,8 @@ class CheckSession:
                 plan_cache=plan_cache,
                 device=self.config.device,
                 slice_batch=self.config.slice_batch,
+                plan_budget_seconds=self.config.plan_budget_seconds,
+                plan_seed=self.config.plan_seed,
             )
         return self._backend
 
@@ -318,6 +335,8 @@ class CheckSession:
                 )
                 cached.stats.term_times = []
                 cached.stats.plan_cache_hit = 0
+                cached.stats.planning_seconds = 0.0
+                cached.stats.plan_trials = 0
                 cached.stats.result_cache_hit = 1
                 return cached
         plan_hits_before = (
@@ -486,12 +505,21 @@ class CheckSession:
         epsilon: Optional[float],
     ) -> FidelityResult:
         cfg = self.config
+        if algorithm == "dense":
+            fidelity = jamiolkowski_fidelity_dense(noisy, ideal)
+            return FidelityResult(
+                fidelity=fidelity,
+                stats=RunStats(algorithm="dense", backend="dense-linalg"),
+            )
+        backend = self.backend
+        planning_before = backend.planning_seconds_total
+        trials_before = backend.plan_trials_total
         if algorithm == "alg1":
-            return fidelity_individual(
+            result = fidelity_individual(
                 noisy,
                 ideal,
                 epsilon=epsilon,
-                backend=self.backend,
+                backend=backend,
                 order_method=cfg.order_method,
                 share_computed_table=cfg.share_computed_table,
                 use_local_optimisations=cfg.use_local_optimisations,
@@ -499,18 +527,21 @@ class CheckSession:
                 max_terms=cfg.alg1_max_terms,
                 time_budget_seconds=cfg.alg1_time_budget_seconds,
             )
-        if algorithm == "alg2":
-            return fidelity_collective(
+        elif algorithm == "alg2":
+            result = fidelity_collective(
                 noisy,
                 ideal,
-                backend=self.backend,
+                backend=backend,
                 order_method=cfg.order_method,
                 use_local_optimisations=cfg.use_local_optimisations,
             )
-        if algorithm == "dense":
-            fidelity = jamiolkowski_fidelity_dense(noisy, ideal)
-            return FidelityResult(
-                fidelity=fidelity,
-                stats=RunStats(algorithm="dense", backend="dense-linalg"),
-            )
-        raise ValueError(f"unknown algorithm {algorithm!r}")
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        # Delta of the backend's cumulative planning counters: how much
+        # planning (and how many search trials) *this run* paid for.
+        # ~0 seconds and 0 trials when the plan cache answered.
+        result.stats.planning_seconds = (
+            backend.planning_seconds_total - planning_before
+        )
+        result.stats.plan_trials = backend.plan_trials_total - trials_before
+        return result

@@ -53,6 +53,12 @@ class RunStats:
     #: plan_for calls served from the plan cache without planning
     #: (0 whenever caching is disabled)
     plan_cache_hit: int = 0
+    #: wall-clock seconds the backend spent planning (cache lookups,
+    #: heuristics, search trials); ~0 on plan-cache hits
+    planning_seconds: float = 0.0
+    #: randomized search trials run by the anneal/hyper planners
+    #: (0 for heuristic planners and on plan-cache hits)
+    plan_trials: int = 0
     #: whole checks served from the result cache without contracting
     #: (0 or 1 per run; sums across a merged batch)
     result_cache_hit: int = 0
@@ -93,7 +99,8 @@ class RunStats:
         Peaks (``max_nodes``, ``max_intermediate_size``,
         ``predicted_peak_size``, ``slice_count``) take the maximum,
         counters (``predicted_cost``, ``terms_*``, the
-        ``plan_cache_hit``/``result_cache_hit`` cache counters) sum,
+        ``plan_cache_hit``/``result_cache_hit`` cache counters,
+        ``planning_seconds``/``plan_trials``) sum,
         flags OR, and
         ``algorithm``/``backend`` keep a common value or become
         ``"mixed"``.  Per-term timings are not concatenated (they are a
@@ -127,6 +134,10 @@ class RunStats:
                 run.batched_slice_calls for run in runs
             )
             merged.plan_cache_hit = sum(run.plan_cache_hit for run in runs)
+            merged.planning_seconds = sum(
+                run.planning_seconds for run in runs
+            )
+            merged.plan_trials = sum(run.plan_trials for run in runs)
             merged.result_cache_hit = sum(
                 run.result_cache_hit for run in runs
             )
@@ -158,6 +169,8 @@ class StatsAggregator:
         self._wall_seconds = 0.0
         self._cpu_seconds = 0.0
         self._plan_cache_hits = 0
+        self._planning_seconds = 0.0
+        self._plan_trials = 0
         self._result_cache_hits = 0
         self._terms_computed = 0
         self._batched_slice_calls = 0
@@ -182,6 +195,8 @@ class StatsAggregator:
                 stats.cpu_seconds if stats.cpu_seconds else stats.time_seconds
             )
             self._plan_cache_hits += stats.plan_cache_hit
+            self._planning_seconds += stats.planning_seconds
+            self._plan_trials += stats.plan_trials
             self._result_cache_hits += stats.result_cache_hit
             self._terms_computed += stats.terms_computed
             self._batched_slice_calls += stats.batched_slice_calls
@@ -200,6 +215,8 @@ class StatsAggregator:
                 "wall_seconds": self._wall_seconds,
                 "cpu_seconds": self._cpu_seconds,
                 "plan_cache_hits": self._plan_cache_hits,
+                "planning_seconds": self._planning_seconds,
+                "plan_trials": self._plan_trials,
                 "result_cache_hits": self._result_cache_hits,
                 "terms_computed": self._terms_computed,
                 "batched_slice_calls": self._batched_slice_calls,

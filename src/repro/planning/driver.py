@@ -1,0 +1,309 @@
+"""The anytime search driver: budgeted restarts over one searcher.
+
+:func:`search_plan` owns everything strategy-independent — the heuristic
+baseline floor, the wall-clock budget / exact-trial-count loop, per-trial
+deterministic seeding, best-so-far tracking, and the
+:class:`PlanSearchReport` provenance record.  Strategies implement the
+:class:`PlanSearcher` protocol: one randomized ``trial`` that returns a
+candidate contraction as ``(cost, merge pairs)`` over *stable operand
+ids* (see below), or ``None`` when the trial pruned itself against the
+best cost so far.
+
+Stable-id convention
+--------------------
+Plan steps address operands by *position* in a shrinking list (the
+einsum-path convention), which is awkward to produce incrementally.
+Searchers instead name operands by stable integer ids: input ``k`` is id
+``k``, and every merge allocates the next id in sequence (``len(inputs)``,
+``len(inputs) + 1``, ...) in the order the merges appear in the returned
+pair list.  The driver converts the winning trial's id pairs into
+positional :class:`~repro.tensornet.planner.ContractionStep`\\ s once, at
+the end — losing trials never pay the conversion.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from abc import ABC, abstractmethod
+from dataclasses import asdict, dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from ..tensornet.network import TensorNetwork
+from ..tensornet.planner import (
+    SEARCH_PLANNERS,
+    ContractionPlan,
+    ContractionStep,
+    _make_step,
+    _plan_inputs,
+    greedy_plan,
+    plan_from_order,
+    slice_plan,
+)
+
+#: Wall-clock budget used when a search planner is selected but neither
+#: ``budget_seconds`` nor ``trials`` is given.  One second buys hundreds
+#: of restarts on library-sized networks and amortises across the fleet
+#: through the plan cache.
+DEFAULT_PLAN_BUDGET_SECONDS = 1.0
+
+#: Merge pairs over stable operand ids (the searcher output format).
+MergePairs = List[Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class PlanSearchReport:
+    """Provenance of one budgeted plan search (rides along on the plan).
+
+    ``trajectory`` holds one ``(trial, cost)`` entry per strict
+    improvement over the baseline, in discovery order; an empty
+    trajectory means the heuristic baseline was never beaten and the
+    returned plan *is* the baseline (re-labelled with the search
+    planner's name).
+    """
+
+    planner: str
+    seed: int
+    budget_seconds: Optional[float]
+    #: trials actually run (0 under ``budget=0``)
+    trials: int
+    #: which heuristic produced the anytime floor ("greedy" or "min_fill")
+    baseline_planner: str
+    baseline_cost: int
+    best_cost: int
+    #: trial index that produced the winning plan; None = baseline won
+    best_trial: Optional[int]
+    #: wall-clock seconds spent searching (baselines included)
+    search_seconds: float
+    trajectory: Tuple[Tuple[int, int], ...] = ()
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe)."""
+        record = asdict(self)
+        record["trajectory"] = [list(point) for point in self.trajectory]
+        return record
+
+
+class PlanSearcher(ABC):
+    """One randomized plan-search strategy (see module docstring).
+
+    Subclasses are constructed once per search with the self-traced
+    input label tuples and label dimensions, may precompute whatever
+    structure they like, and must implement :meth:`trial`.
+    """
+
+    #: registry key; must appear in
+    #: :data:`repro.tensornet.planner.SEARCH_PLANNERS`
+    name: str = ""
+
+    def __init__(
+        self,
+        inputs: Sequence[Tuple[str, ...]],
+        dims: Dict[str, int],
+    ):
+        self.inputs: Tuple[Tuple[str, ...], ...] = tuple(inputs)
+        self.dims: Dict[str, int] = dict(dims)
+
+    @abstractmethod
+    def trial(
+        self, rng: np.random.Generator, best_cost: int
+    ) -> Optional[Tuple[int, MergePairs]]:
+        """Run one randomized trial.
+
+        Returns ``(cost, pairs)`` — the predicted flop total and the
+        merge sequence over stable ids — or ``None`` when the trial
+        aborted early because its running cost already reached
+        ``best_cost`` (pruning keeps hopeless restarts cheap).
+        """
+
+
+#: Registered searcher strategies, keyed by planner name.
+SEARCHERS: Dict[str, Type[PlanSearcher]] = {}
+
+
+def register_searcher(cls: Type[PlanSearcher]) -> Type[PlanSearcher]:
+    """Class decorator adding a strategy to :data:`SEARCHERS`."""
+    if not cls.name:
+        raise ValueError(f"searcher {cls!r} must set a non-empty name")
+    if cls.name not in SEARCH_PLANNERS:
+        raise ValueError(
+            f"searcher name {cls.name!r} is not a registered search "
+            f"planner; add it to SEARCH_PLANNERS "
+            f"({sorted(SEARCH_PLANNERS)})"
+        )
+    SEARCHERS[cls.name] = cls
+    return cls
+
+
+def _steps_from_pairs(
+    inputs: Sequence[Tuple[str, ...]],
+    dims: Dict[str, int],
+    pairs: Sequence[Tuple[int, int]],
+) -> List[ContractionStep]:
+    """Convert stable-id merge pairs into positional plan steps."""
+    ops: List[Tuple[str, ...]] = list(inputs)
+    ids: List[int] = list(range(len(inputs)))
+    next_id = len(inputs)
+    steps: List[ContractionStep] = []
+    for a, b in pairs:
+        i, j = ids.index(a), ids.index(b)
+        if i > j:
+            i, j = j, i
+        steps.append(_make_step(ops, i, j, dims))
+        del ids[j]
+        del ids[i]
+        ids.append(next_id)
+        next_id += 1
+    return steps
+
+
+def merge_cost(
+    a: Tuple[str, ...], b: Tuple[str, ...], dims: Dict[str, int]
+) -> Tuple[Tuple[str, ...], int, int]:
+    """Output labels, output size and flops of merging two operands.
+
+    The shared cost model of every searcher, kept identical to
+    :func:`~repro.tensornet.planner._make_step` so trial costs compare
+    exactly against baseline ``total_cost()`` values.
+    """
+    shared = frozenset(a) & frozenset(b)
+    output = tuple(lab for lab in a if lab not in shared) + tuple(
+        lab for lab in b if lab not in shared
+    )
+    size = 1
+    for label in output:
+        size *= dims[label]
+    flops = size
+    for label in shared:
+        flops *= dims[label]
+    return output, size, flops
+
+
+def _baseline_plans(
+    network: TensorNetwork,
+) -> List[Tuple[str, ContractionPlan]]:
+    """The heuristic floor every search starts from."""
+    return [
+        ("greedy", greedy_plan(network)),
+        ("min_fill", plan_from_order(network, method="min_fill")),
+    ]
+
+
+def search_plan(
+    network: TensorNetwork,
+    planner: str,
+    *,
+    budget_seconds: Optional[float] = None,
+    seed: int = 0,
+    trials: Optional[int] = None,
+    max_intermediate_size: Optional[int] = None,
+    max_slices: Optional[int] = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> ContractionPlan:
+    """Budgeted anytime plan search (the ``anneal``/``hyper`` planners).
+
+    Computes the greedy and min_fill baselines, then runs randomized
+    trials of the named strategy until the wall-clock ``budget_seconds``
+    is spent — or, when ``trials`` is given, for exactly that many
+    trials regardless of the clock (the deterministic mode: identical
+    ``(network, planner, seed, trials)`` inputs yield identical plans on
+    any machine).  With neither given the budget defaults to
+    :data:`DEFAULT_PLAN_BUDGET_SECONDS`; ``budget_seconds=0`` runs no
+    trials and returns the best baseline unchanged (anytime floor).
+
+    Trial ``t`` draws every random choice from
+    ``np.random.default_rng([seed, t])``, so results are reproducible
+    under a fixed seed and independent of trial scheduling.
+
+    The returned plan carries a :class:`PlanSearchReport` in its
+    ``search_report`` field and is sliced to ``max_intermediate_size``
+    (after the search — searchers optimise the unsliced contraction,
+    matching :func:`~repro.tensornet.planner.build_plan` semantics).
+    """
+    if planner not in SEARCHERS:
+        raise ValueError(
+            f"unknown search planner {planner!r}; choose from "
+            f"{sorted(SEARCHERS)}"
+        )
+    if budget_seconds is not None and (
+        not isinstance(budget_seconds, (int, float))
+        or isinstance(budget_seconds, bool)
+        or not math.isfinite(budget_seconds)
+        or budget_seconds < 0
+    ):
+        raise ValueError(
+            f"budget_seconds must be a finite number >= 0 or None, "
+            f"got {budget_seconds!r}"
+        )
+    if trials is not None and (
+        not isinstance(trials, int)
+        or isinstance(trials, bool)
+        or trials < 0
+    ):
+        raise ValueError(
+            f"trials must be an integer >= 0 or None, got {trials!r}"
+        )
+    if trials is None and budget_seconds is None:
+        budget_seconds = DEFAULT_PLAN_BUDGET_SECONDS
+
+    start = clock()
+    baselines = _baseline_plans(network)
+    base_name, base_plan = min(
+        baselines,
+        key=lambda pair: (pair[1].total_cost(), pair[1].peak_size(), pair[0]),
+    )
+    inputs, dims = _plan_inputs(network)
+    searcher = SEARCHERS[planner](inputs, dims)
+
+    best_cost = base_plan.total_cost()
+    best_pairs: Optional[MergePairs] = None
+    best_trial: Optional[int] = None
+    trajectory: List[Tuple[int, int]] = []
+    trial = 0
+    while True:
+        if trials is not None:
+            if trial >= trials:
+                break
+        elif clock() - start >= budget_seconds:
+            break
+        rng = np.random.default_rng([seed, trial])
+        outcome = searcher.trial(rng, best_cost)
+        if outcome is not None:
+            cost, pairs = outcome
+            if cost < best_cost:
+                best_cost, best_pairs, best_trial = cost, pairs, trial
+                trajectory.append((trial, cost))
+        trial += 1
+    search_seconds = clock() - start
+
+    if best_pairs is None:
+        plan = replace(base_plan, planner=planner)
+    else:
+        steps = _steps_from_pairs(inputs, dims, best_pairs)
+        order: List[str] = []
+        for step in steps:
+            order.extend(sorted(step.eliminated))
+        seen = set(order)
+        remaining = [i for i in network.all_indices() if i not in seen]
+        plan = ContractionPlan(
+            inputs=inputs, dims=dims, steps=tuple(steps),
+            order=tuple(order + remaining), planner=planner,
+        )
+    report = PlanSearchReport(
+        planner=planner,
+        seed=seed,
+        budget_seconds=budget_seconds,
+        trials=trial,
+        baseline_planner=base_name,
+        baseline_cost=base_plan.total_cost(),
+        best_cost=plan.total_cost(),
+        best_trial=best_trial,
+        search_seconds=search_seconds,
+        trajectory=tuple(trajectory),
+    )
+    plan = replace(plan, search_report=report)
+    if max_intermediate_size is not None:
+        plan = slice_plan(plan, max_intermediate_size, max_slices=max_slices)
+    return plan

@@ -678,6 +678,8 @@ class ReproService:
             "repro_check_wall_seconds_total": snapshot["wall_seconds"],
             "repro_check_cpu_seconds_total": snapshot["cpu_seconds"],
             "repro_plan_cache_hits_total": snapshot["plan_cache_hits"],
+            "repro_planning_seconds_total": snapshot["planning_seconds"],
+            "repro_plan_trials_total": snapshot["plan_trials"],
             "repro_result_cache_hits_total": snapshot["result_cache_hits"],
             "repro_batched_slice_calls_total": snapshot[
                 "batched_slice_calls"

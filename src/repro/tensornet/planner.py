@@ -18,6 +18,10 @@ Three planners produce plans:
   order induces;
 * :func:`greedy_plan` — a cost-greedy pairwise planner that repeatedly
   merges the connected pair with the smallest output tensor;
+* :func:`repro.planning.search_plan` — budgeted anytime search
+  (``anneal``/``hyper``, see :data:`SEARCH_PLANNERS`) that spends a
+  wall-clock budget on randomized restarts and never returns a plan
+  worse than the greedy/min_fill baseline;
 * :func:`slice_plan` — rewrites any plan into a sum over index-fixed
   subplans so that no intermediate exceeds a ``max_intermediate_size``
   bound (memory-bounded contraction, the standard slicing trick of
@@ -42,11 +46,20 @@ from .network import TensorNetwork
 from .ordering import contraction_order
 from .tensor import Tensor
 
+#: Planner values served by the budgeted anytime search driver of
+#: :mod:`repro.planning` — ``"anneal"`` (annealed random-greedy
+#: restarts) and ``"hyper"`` (recursive hypergraph bisection).  Both
+#: start from the greedy/min_fill baseline, so a zero budget degrades to
+#: heuristic quality; their plans carry a
+#: :class:`~repro.planning.PlanSearchReport` in ``search_report``.
+SEARCH_PLANNERS = ("anneal", "hyper")
+
 #: Registry of planner strategies understood by :func:`build_plan` (and by
 #: the ``planner=`` knob of backends, ``CheckConfig`` and the CLI).
 #: ``"order"`` derives the pairwise sequence from an elimination-order
-#: heuristic; ``"greedy"`` picks pairs by smallest merged tensor.
-PLANNERS = ("order", "greedy")
+#: heuristic; ``"greedy"`` picks pairs by smallest merged tensor; the
+#: :data:`SEARCH_PLANNERS` trade a time budget for cheaper plans.
+PLANNERS = ("order", "greedy") + SEARCH_PLANNERS
 
 #: :func:`slice_plan` warns when a bound implies more subplan executions
 #: than this — each slice multiplies runtime, and a very tight bound can
@@ -104,6 +117,14 @@ class ContractionPlan:
     slices: Tuple[str, ...] = ()
     #: name of the planner that produced the plan
     planner: str = "order"
+    #: search provenance (a :class:`repro.planning.PlanSearchReport`)
+    #: when the plan came from a budgeted search; ``None`` for the
+    #: heuristic planners.  Provenance, not structure: excluded from
+    #: equality and from :meth:`digest`, but pickled with the plan so
+    #: plan-cache hits still report how the plan was found.
+    search_report: Optional[object] = field(
+        default=None, compare=False, repr=False
+    )
 
     # --- cost model -----------------------------------------------------------
 
@@ -188,6 +209,9 @@ class ContractionPlan:
                 }
                 for step in self.steps
             ],
+            "search": (
+                self.search_report.to_dict() if self.search_report else None
+            ),
         }
 
     def report(self, max_steps: Optional[int] = None) -> str:
@@ -203,6 +227,14 @@ class ContractionPlan:
             f"slices           : {self.num_slices()}"
             + (f" over {list(self.slices)}" if self.slices else ""),
         ]
+        if self.search_report is not None:
+            record = self.search_report
+            lines.append(
+                f"search           : {record.trials} trials in "
+                f"{record.search_seconds:.3f}s (seed {record.seed}), "
+                f"baseline {record.baseline_planner} cost "
+                f"{record.baseline_cost} -> best {record.best_cost}"
+            )
         shown = self.steps if max_steps is None else self.steps[:max_steps]
         for number, step in enumerate(shown):
             eliminated = ",".join(sorted(step.eliminated)) or "(outer)"
@@ -378,8 +410,31 @@ def build_plan(
     order_method: str = "tree_decomposition",
     max_intermediate_size: Optional[int] = None,
     max_slices: Optional[int] = None,
+    plan_budget_seconds: Optional[float] = None,
+    plan_seed: int = 0,
+    plan_trials: Optional[int] = None,
 ) -> ContractionPlan:
-    """One-stop plan construction: pick a planner, optionally slice."""
+    """One-stop plan construction: pick a planner, optionally slice.
+
+    The search planners (:data:`SEARCH_PLANNERS`) additionally honour
+    ``plan_budget_seconds`` (wall-clock search budget; ``None`` means
+    the default budget, ``0`` means baseline only), ``plan_seed``
+    (deterministic trial seeding) and ``plan_trials`` (exact trial
+    count, overriding the clock — the fully deterministic mode); the
+    heuristic planners ignore all three.
+    """
+    if planner in SEARCH_PLANNERS:
+        from ..planning import search_plan
+
+        return search_plan(
+            network,
+            planner,
+            budget_seconds=plan_budget_seconds,
+            seed=plan_seed,
+            trials=plan_trials,
+            max_intermediate_size=max_intermediate_size,
+            max_slices=max_slices,
+        )
     if planner == "order":
         plan = plan_from_order(network, method=order_method)
     elif planner == "greedy":
@@ -450,11 +505,15 @@ def slice_plan(
                 if plan.dims[label] > 1:
                     occurrences[label] = occurrences.get(label, 0) + 1
         # occurrences cannot be empty: an output larger than the bound
-        # (>= 1) must contain a label of dimension > 1.
-        best = sorted(
+        # (>= 1) must contain a label of dimension > 1.  Occurrence and
+        # size ties break on the label name itself — never on dict/set
+        # iteration order — so the sliced plan, and therefore its digest
+        # and every cache key derived from it, is identical across
+        # Python hash seeds and processes.
+        best = min(
             occurrences,
             key=lambda lab: (-occurrences[lab], -plan.dims[lab], lab),
-        )[0]
+        )
         sliced.add(best)
         steps = _resliced_steps(plan, sliced)
     result = replace(

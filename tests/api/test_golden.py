@@ -27,7 +27,12 @@ from repro.api.errors import CircuitLoadError
 FIXTURES = Path(__file__).parent / "fixtures"
 
 #: stats fields a golden comparison zeroes (machine-dependent timings)
-TIMING_STATS = {"time_seconds": 0.0, "cpu_seconds": 0.0, "term_times": []}
+TIMING_STATS = {
+    "time_seconds": 0.0,
+    "cpu_seconds": 0.0,
+    "planning_seconds": 0.0,
+    "term_times": [],
+}
 
 
 def golden_request() -> CheckRequest:

@@ -33,6 +33,8 @@ TIMING_AND_COUNTER_FIELDS = (
     "cpu_seconds",
     "term_times",
     "plan_cache_hit",
+    "planning_seconds",
+    "plan_trials",
     "result_cache_hit",
 )
 

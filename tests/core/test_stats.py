@@ -64,6 +64,21 @@ class TestRunStatsMerge:
         assert record["plan_cache_hit"] == 0
         assert record["result_cache_hit"] == 0
 
+    def test_merge_sums_planning_counters(self):
+        runs = [
+            RunStats(planning_seconds=0.25, plan_trials=40),
+            RunStats(planning_seconds=0.5, plan_trials=2),
+            RunStats(),
+        ]
+        merged = RunStats.merge(runs)
+        assert merged.planning_seconds == 0.75
+        assert merged.plan_trials == 42
+
+    def test_planning_counters_default_zero_and_serialise(self):
+        record = RunStats().to_dict()
+        assert record["planning_seconds"] == 0.0
+        assert record["plan_trials"] == 0
+
     def test_merge_of_merged_stats_keeps_cpu_totals(self):
         """Re-merging batch aggregates must not lose summed CPU time."""
         first = RunStats.merge(
@@ -132,11 +147,13 @@ class TestStatsAggregator:
         aggregate = StatsAggregator()
         aggregate.add(RunStats(time_seconds=1.0, cpu_seconds=2.0,
                                plan_cache_hit=1, result_cache_hit=0,
-                               max_nodes=10, terms_computed=3))
+                               max_nodes=10, terms_computed=3,
+                               planning_seconds=0.25, plan_trials=12))
         aggregate.add(RunStats(time_seconds=0.5, cpu_seconds=0.0,
                                plan_cache_hit=0, result_cache_hit=1,
                                max_nodes=4, terms_computed=1,
-                               early_stopped=True))
+                               early_stopped=True,
+                               planning_seconds=0.05, plan_trials=0))
         aggregate.add(None)  # error responses carry no stats
         snapshot = aggregate.snapshot()
         assert snapshot["checks"] == 2
@@ -145,6 +162,8 @@ class TestStatsAggregator:
         assert snapshot["cpu_seconds"] == 2.5
         assert snapshot["plan_cache_hits"] == 1
         assert snapshot["result_cache_hits"] == 1
+        assert snapshot["planning_seconds"] == 0.3
+        assert snapshot["plan_trials"] == 12
         assert snapshot["max_nodes"] == 10
         assert snapshot["terms_computed"] == 4
         assert snapshot["early_stopped"] == 1

@@ -206,6 +206,8 @@ class TestMetricsAndLogs:
         assert "# TYPE repro_inflight gauge" in text
         assert "# TYPE repro_checks_total counter" in text
         assert "repro_result_cache_hits_total" in text
+        assert "repro_planning_seconds_total" in text
+        assert "repro_plan_trials_total" in text
 
     def test_engine_counters_accumulate(self, server):
         _, _, before = call(server, "GET", "/metrics")

@@ -293,3 +293,52 @@ class TestSliceApplier:
         assert len(operands) == len(net.tensors)
         for tensor in operands:
             assert len(set(tensor.indices)) == len(tensor.indices)
+
+
+class TestSliceDeterminism:
+    """Sliced-plan digests must be stable across Python hash seeds.
+
+    ``slice_plan`` breaks occurrence/size ties on the label *name* —
+    never on dict or set iteration order — so the same network always
+    slices the same indices and lands on the same digest (and therefore
+    the same plan-cache key) in every process.
+    """
+
+    def test_occurrence_and_size_ties_break_on_the_label_name(self):
+        t_mid = Tensor(np.ones((2, 2, 2)), ["a", "z", "b"])
+        t_end = Tensor(np.ones((2, 2)), ["a", "z"])
+        t_cap = Tensor(np.ones(2), ["b"])
+        net = TensorNetwork([t_mid, t_end, t_cap])
+        plan = plan_from_order(net, order=["b", "a", "z"])
+        assert plan.peak_size() == 4  # the (a, z) intermediate
+        sliced = slice_plan(plan, 2)
+        # "a" and "z" tie on occurrences (1) and dimension (2): the
+        # lexicographically smallest name must win, deterministically.
+        assert sliced.slices == ("a",)
+
+    def test_sliced_digest_is_identical_across_hash_seeds(self):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        code = (
+            "from repro.library import qft\n"
+            "from repro.tensornet import (circuit_to_network, close_trace,"
+            " greedy_plan, plan_from_order, slice_plan)\n"
+            "net = close_trace(circuit_to_network(qft(4)))\n"
+            "for plan in (plan_from_order(net), greedy_plan(net)):\n"
+            "    print(slice_plan(plan, 4).digest())\n"
+        )
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        digests = set()
+        for hash_seed in ("0", "1", "42"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = src
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            digests.add(proc.stdout)
+        assert len(digests) == 1  # one digest pair, whatever the seed

@@ -264,6 +264,94 @@ class TestPlanCommand:
         assert record["stats"]["predicted_cost"] > 0
 
 
+class TestPlanSearchFlags:
+    def test_plan_search_json_carries_the_report(self, qasm_file, capsys):
+        code = main([
+            "plan", qasm_file, "--noises", "1", "--json",
+            "--planner", "anneal", "--plan-budget", "0", "--plan-seed", "9",
+        ])
+        record = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert record["planner"] == "anneal"
+        assert record["search"]["planner"] == "anneal"
+        assert record["search"]["seed"] == 9
+        assert record["search"]["trials"] == 0  # budget 0: baseline only
+
+    def test_plan_text_report_includes_the_search_line(self, qasm_file,
+                                                       capsys):
+        code = main([
+            "plan", qasm_file, "--noises", "1",
+            "--planner", "hyper", "--plan-budget", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "search" in out
+        assert "0 trials" in out
+
+    def test_check_accepts_search_flags(self, qasm_file, capsys):
+        code = main([
+            "check", qasm_file, "--noises", "2", "--epsilon", "0.05",
+            "--planner", "anneal", "--plan-budget", "0", "--plan-seed", "2",
+            "--backend", "dense", "--json",
+        ])
+        record = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert record["stats"]["plan_trials"] == 0
+
+    def test_compare_json_races_every_registered_planner(self, qasm_file,
+                                                         capsys):
+        from repro.tensornet.planner import PLANNERS
+
+        code = main([
+            "plan", qasm_file, "--noises", "1", "--json",
+            "--compare", "--plan-budget", "0.05",
+        ])
+        record = json.loads(capsys.readouterr().out)
+        assert code == 0
+        rows = record["planners"]
+        assert [row["planner"] for row in rows] == list(PLANNERS)
+        best = min(row["total_cost"] for row in rows)
+        for row in rows:
+            assert row["best"] == (row["total_cost"] == best)
+            assert row["plan_seconds"] >= 0
+            if row["planner"] in ("anneal", "hyper"):
+                assert row["trials"] >= 1
+            else:
+                assert row["trials"] is None
+
+    def test_compare_table_lists_every_planner(self, qasm_file, capsys):
+        from repro.tensornet.planner import PLANNERS
+
+        code = main([
+            "plan", qasm_file, "--noises", "1",
+            "--compare", "--plan-budget", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        for planner in PLANNERS:
+            assert planner in out
+        assert "cost" in out and "trials" in out
+        assert "*" in out  # the cheapest plan is starred
+
+    def test_plan_cache_replays_the_searched_plan(self, qasm_file, tmp_path,
+                                                  capsys):
+        argv = [
+            "plan", qasm_file, "--noises", "1", "--json",
+            "--planner", "anneal", "--plan-budget", "0.05",
+            "--cache", "--cache-dir", str(tmp_path),
+        ]
+        main(argv)
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["plan_cache"] == "miss"
+        assert cold["search"]["trials"] >= 1
+        main(argv)
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["plan_cache"] == "hit"
+        # the provenance record is cached alongside the plan itself
+        assert warm["search"] == cold["search"]
+        assert warm["steps"] == cold["steps"]
+
+
 class TestBatchFailureIsolation:
     @pytest.fixture
     def broken_manifest(self, tmp_path, qasm_file):
@@ -523,8 +611,9 @@ class TestWireSchemaOutput:
             config={"algorithm": "alg2"},
         ))
         direct = response.to_dict()
-        for volatile in ("time_seconds",):
-            record[volatile] = direct[volatile] = 0.0
+        for volatile in ("time_seconds", "planning_seconds"):
+            record.pop(volatile, None)
+            direct.pop(volatile, None)
             record["stats"][volatile] = direct["stats"][volatile] = 0.0
         record["stats"]["cpu_seconds"] = direct["stats"]["cpu_seconds"] = 0.0
         assert record == direct
