@@ -26,9 +26,16 @@ warm-cache check is sub-millisecond, so the loopback-TCP + HTTP floor
 (``floor_p50_ms``, measured on ``/healthz``) dominates the warm ratio —
 the absolute added latency (``added_ms``) and the same ratio on the
 cold path (``overhead_ratio_cold``, where real contraction amortises
-the transport) tell the real story.  Numbers land in
-``BENCH_service.json`` next to the other benchmark records so future
-PRs have a trajectory.
+the transport) tell the real story.
+
+The ``trace_overhead`` section pins the span tracer's cost on the warm
+check path (see ``docs/observability.md``): the disabled tracer must
+cost < 1% of a warm check (estimated from the measured no-op
+``trace.span()`` per-call cost times the spans a warm check records)
+and the enabled tracer < 10% (traced vs untraced warm p50 on a bare
+engine) — both asserted, so the benchmark doubles as a regression
+gate.  Numbers land in ``BENCH_service.json`` next to the other
+benchmark records so future PRs have a trajectory.
 
 Usage::
 
@@ -207,6 +214,69 @@ def bench_saturated(threads_n, requests_each):
     return report
 
 
+def bench_trace_overhead(repeats):
+    """The tracer's cost on the warm check path, disabled and enabled.
+
+    Disabled is the default for every user, so it is estimated from the
+    measured per-call cost of the no-op ``trace.span()`` times the spans
+    a warm check would have recorded — the fraction of check wall time
+    the instrumentation points cost when nobody is tracing.  Enabled is
+    the direct ratio of traced vs untraced warm p50 on a bare engine
+    (same result-cache entry: ``trace`` is excluded from the cache
+    fingerprint).
+    """
+    import dataclasses
+    import shutil
+    import tempfile
+    import timeit
+
+    from repro import trace
+    from repro.trace import tree_records
+
+    noop_ns = min(
+        timeit.repeat(
+            "span('probe', key=1)",
+            globals={"span": trace.span},
+            number=100_000,
+            repeat=5,
+        )
+    ) / 100_000 * 1e9
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-service-trace-")
+    try:
+        engine = Engine(cache=True, cache_dir=cache_dir)
+        plain = typed_request(0)
+        traced = dataclasses.replace(plain, config={"trace": True})
+        untraced_p50 = bench_bare_engine(engine, plain, repeats)["p50_ms"]
+        traced_p50 = bench_bare_engine(engine, traced, repeats)["p50_ms"]
+        spans_per_check = len(
+            tree_records(engine.respond(traced).result.trace)
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    disabled_ratio = (noop_ns * spans_per_check) / (untraced_p50 * 1e6)
+    enabled_ratio = traced_p50 / untraced_p50
+    report = {
+        "noop_span_ns_per_call": noop_ns,
+        "spans_per_warm_check": spans_per_check,
+        "untraced_warm_p50_ms": untraced_p50,
+        "traced_warm_p50_ms": traced_p50,
+        "disabled_overhead_ratio": disabled_ratio,
+        "disabled_target_ratio": 0.01,
+        "enabled_overhead_ratio": enabled_ratio,
+        "enabled_target_ratio": 1.10,
+    }
+    assert disabled_ratio < 0.01, (
+        f"disabled tracer costs {disabled_ratio:.2%} of a warm check "
+        f"(budget 1%)"
+    )
+    assert enabled_ratio < 1.10, (
+        f"enabled tracer ratio {enabled_ratio:.2f} (budget 1.10)"
+    )
+    return report
+
+
 def bench_bare_engine(engine, request, repeats):
     engine.respond(request)  # warm
     samples = []
@@ -329,6 +399,16 @@ def main(argv=None) -> int:
         f"(added {report['overhead']['added_ms']:.3f} ms, floor "
         f"{floor_p50:.3f} ms), cold ratio "
         f"{report['overhead']['overhead_ratio_cold']:.2f}",
+        file=sys.stderr,
+    )
+
+    report["trace_overhead"] = bench_trace_overhead(args.warm)
+    print(
+        "trace_overhead: disabled "
+        f"{report['trace_overhead']['disabled_overhead_ratio']:.4%} "
+        f"(budget 1%), enabled "
+        f"{report['trace_overhead']['enabled_overhead_ratio']:.2f}x "
+        f"(budget 1.10x)",
         file=sys.stderr,
     )
 

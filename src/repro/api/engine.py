@@ -48,6 +48,7 @@ from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
 
+from .. import trace as _trace
 from ..backends import ContractionBackend, available_backends
 from ..cache import CheckCache
 from ..cache.fingerprint import request_fingerprint
@@ -198,7 +199,8 @@ class Engine:
         if spec.circuit is not None:
             return spec.circuit
         if spec.path is not None:  # files mutate; never memoised
-            return spec.resolve()
+            with _trace.span("circuit.load", source="path"):
+                return spec.resolve()
         # inline-QASM and library specs are pure (specs validate
         # hashability and random generators require a pinned seed)
         with self._lock:
@@ -208,7 +210,11 @@ class Engine:
                 return circuit
         # resolve outside the lock: QASM parsing / generator calls can
         # be slow, and purity makes a duplicate race-resolve harmless
-        circuit = spec.resolve()
+        with _trace.span(
+            "circuit.load",
+            source="library" if spec.library is not None else "qasm",
+        ):
+            circuit = spec.resolve()
         with self._lock:
             self._circuits[spec] = circuit
             while len(self._circuits) > _CIRCUIT_MEMO_ENTRIES:
@@ -219,14 +225,15 @@ class Engine:
         self, request: CheckRequest
     ) -> Tuple[CheckConfig, QuantumCircuit, QuantumCircuit]:
         """Request -> (config, ideal, noisy); failures carry typed codes."""
-        config = self._config_for(request)
-        ideal = self._circuit(request.ideal)
-        base = (
-            self._circuit(request.noisy)
-            if request.noisy is not None
-            else ideal
-        )
-        return config, ideal, apply_noise(request.noise, base)
+        with _trace.span("request.resolve"):
+            config = self._config_for(request)
+            ideal = self._circuit(request.ideal)
+            base = (
+                self._circuit(request.noisy)
+                if request.noisy is not None
+                else ideal
+            )
+            return config, ideal, apply_noise(request.noise, base)
 
     def _session(self, config: CheckConfig) -> CheckSession:
         with self._lock:
@@ -272,6 +279,33 @@ class Engine:
     # --- checking -------------------------------------------------------------
 
     def _execute(
+        self, request: CheckRequest, index: Optional[int]
+    ) -> CheckResponse:
+        """Answer one request, opening a trace when its config asks.
+
+        The recorder is created here — above the session — so the root
+        ``engine.request`` span covers resolution, caching and the check
+        itself; the finished span tree lands on ``result.trace``.
+        """
+        try:
+            trace_on = self._config_for(request).trace
+        except ReproError:
+            # invalid config: the untraced path below resolves again and
+            # maps the same failure to a typed ERROR response
+            trace_on = False
+        if not trace_on or _trace.current_recorder() is not None:
+            return self._execute_inner(request, index)
+        recorder = _trace.TraceRecorder()
+        with _trace.recording(recorder):
+            with _trace.span(
+                "engine.request", trace_id=request.trace_id()
+            ):
+                response = self._execute_inner(request, index)
+        if response.result is not None:
+            response.result.trace = _trace.span_tree(recorder)
+        return response
+
+    def _execute_inner(
         self, request: CheckRequest, index: Optional[int]
     ) -> CheckResponse:
         try:
@@ -391,7 +425,14 @@ class Engine:
         :class:`~repro.api.errors.JobNotFoundError`, same as an unknown
         one.
         """
-        job_id = f"job-{next(self._job_ids)}"
+        try:
+            # the job id embeds the request's trace id, so access-log
+            # lines, poll responses and span traces join on one field
+            job_id = f"job-{request.trace_id()}-{next(self._job_ids)}"
+        except ReproError:
+            # a circuit-backed spec that cannot serialise has no wire
+            # identity; fall back to the bare counter
+            job_id = f"job-{next(self._job_ids)}"
         try:
             config, ideal, noisy = self._resolve(request)
             if self.jobs > 1:

@@ -28,6 +28,7 @@ Wire form (version ``1``)::
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
@@ -534,6 +535,16 @@ class CheckRequest:
 
     def to_json(self, **kwargs) -> str:
         return json.dumps(self.to_dict(), **kwargs)
+
+    def trace_id(self) -> str:
+        """The request's 16-hex identity: one field shared by the
+        service access log (``trace_id``), job ids and span traces.
+
+        Digest of the canonical wire form, so byte-identical requests —
+        over HTTP, via the CLI, in process — carry the same id.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
     # --- resolution helpers ---------------------------------------------------
 

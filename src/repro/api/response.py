@@ -227,6 +227,7 @@ class CheckResponse:
             algorithm=payload.get("algorithm", ""),
             backend=payload.get("backend", ""),
             note=payload.get("note"),
+            trace=payload.get("trace"),
         )
         return cls.from_result(result, index=payload.get("index"))
 

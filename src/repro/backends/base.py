@@ -39,6 +39,7 @@ from typing import (
     Union,
 )
 
+from .. import trace as _trace
 from ..cache import PlanCache, open_cache
 from ..tensornet import ContractionStats, TensorNetwork
 from ..tensornet.ordering import ORDER_HEURISTICS
@@ -300,7 +301,22 @@ class ContractionBackend(abc.ABC):
                     self.plan_cache_hits += 1
                 return plan
             if self.plan_cache is not None:
-                plan = self.plan_cache.get(
+                with _trace.span("plan.cache.get") as lookup_span:
+                    plan = self.plan_cache.get(
+                        network,
+                        planner=self.planner,
+                        order_method=self.order_method,
+                        max_intermediate_size=self.max_intermediate_size,
+                        plan_budget_seconds=self.plan_budget_seconds,
+                        plan_seed=self.plan_seed,
+                    )
+                    lookup_span.set(hit=plan is not None)
+                if plan is not None:
+                    self.plan_cache_hits += 1
+                    self._plan_cache[key] = plan
+                    return plan
+            with _trace.span("plan.build", planner=self.planner) as build_span:
+                plan = build_plan(
                     network,
                     planner=self.planner,
                     order_method=self.order_method,
@@ -308,33 +324,25 @@ class ContractionBackend(abc.ABC):
                     plan_budget_seconds=self.plan_budget_seconds,
                     plan_seed=self.plan_seed,
                 )
-                if plan is not None:
-                    self.plan_cache_hits += 1
-                    self._plan_cache[key] = plan
-                    return plan
-            plan = build_plan(
-                network,
-                planner=self.planner,
-                order_method=self.order_method,
-                max_intermediate_size=self.max_intermediate_size,
-                plan_budget_seconds=self.plan_budget_seconds,
-                plan_seed=self.plan_seed,
-            )
+                build_span.set(
+                    cost=plan.total_cost(), slices=plan.num_slices()
+                )
             report = getattr(plan, "search_report", None)
             if report is not None:
                 self.plan_trials_total += report.trials
             self._plan_cache[key] = plan
             if self.plan_cache is not None:
                 self.plan_cache_misses += 1
-                self.plan_cache.put(
-                    network,
-                    plan,
-                    planner=self.planner,
-                    order_method=self.order_method,
-                    max_intermediate_size=self.max_intermediate_size,
-                    plan_budget_seconds=self.plan_budget_seconds,
-                    plan_seed=self.plan_seed,
-                )
+                with _trace.span("plan.cache.put"):
+                    self.plan_cache.put(
+                        network,
+                        plan,
+                        planner=self.planner,
+                        order_method=self.order_method,
+                        max_intermediate_size=self.max_intermediate_size,
+                        plan_budget_seconds=self.plan_budget_seconds,
+                        plan_seed=self.plan_seed,
+                    )
             return plan
         finally:
             self.planning_seconds_total += time.perf_counter() - started

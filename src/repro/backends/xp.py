@@ -49,6 +49,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import trace as _trace
 from ..tensornet import ContractionStats
 from ..tensornet.planner import BatchedSliceApplier, ContractionPlan
 
@@ -398,7 +399,9 @@ def compiled_for(plan: ContractionPlan) -> CompiledPlan:
     if compiled is None:
         if len(_COMPILED_MEMO) >= _COMPILED_MEMO_CAP:
             _COMPILED_MEMO.clear()
-        compiled = compile_plan(plan)
+        with _trace.span("plan.compile") as compile_span:
+            compiled = compile_plan(plan)
+            compile_span.set(steps=len(compiled.steps))
         _COMPILED_MEMO[digest] = compiled
     return compiled
 
@@ -431,19 +434,23 @@ def contract_slices_looped(
     the device, and one einsum per step contracts them.
     """
     total = 0j
-    for assignment in assignments:
-        ops = [xp.from_host(t.data) for t in applier(assignment)]
-        for cstep in compiled.steps:
-            a, b = ops[cstep.lhs], ops[cstep.rhs]
-            del ops[cstep.rhs]
-            del ops[cstep.lhs]
-            lhs_subs, rhs_subs, out_subs = cstep.subscripts
-            merged = xp.einsum(
-                a, list(lhs_subs), b, list(rhs_subs), list(out_subs)
-            )
-            _observe(stats, len(out_subs), xp.size_of(merged))
-            ops.append(merged)
-        total += xp.sum_scalar(ops[0])
+    # One span for the whole loop, not one per assignment: Algorithm I
+    # calls this once per trace term, thousands of times per check.
+    with _trace.span("slices.loop") as loop_span:
+        loop_span.set(slices=len(assignments), device=str(xp.device))
+        for assignment in assignments:
+            ops = [xp.from_host(t.data) for t in applier(assignment)]
+            for cstep in compiled.steps:
+                a, b = ops[cstep.lhs], ops[cstep.rhs]
+                del ops[cstep.rhs]
+                del ops[cstep.lhs]
+                lhs_subs, rhs_subs, out_subs = cstep.subscripts
+                merged = xp.einsum(
+                    a, list(lhs_subs), b, list(rhs_subs), list(out_subs)
+                )
+                _observe(stats, len(out_subs), xp.size_of(merged))
+                ops.append(merged)
+            total += xp.sum_scalar(ops[0])
     return total
 
 
@@ -475,32 +482,35 @@ def contract_slices_batched(
     n = len(assignments)
     for start in range(0, n, slice_batch):
         chunk = assignments[start:start + slice_batch]
-        ops = applier.gather(xp, chunk)
-        for cstep in compiled.steps:
-            a, b = ops[cstep.lhs], ops[cstep.rhs]
-            del ops[cstep.rhs]
-            del ops[cstep.lhs]
-            lhs_subs, rhs_subs, out_subs = cstep.batched_subscripts
-            merged = xp.einsum(
-                a, list(lhs_subs), b, list(rhs_subs), list(out_subs)
-            )
-            # Stats keep their established *per-slice* semantics (the
-            # slicing bound and plan.peak_size() are per-slice figures):
-            # divide the batch axis back out and drop its rank.  The
-            # batch memory multiplier is visible via slice_batch and
-            # batched_slice_calls.
-            size = xp.size_of(merged)
-            if cstep.out_batched:
-                size //= len(chunk)
-            _observe(stats, len(cstep.subscripts[2]), size)
-            ops.append(merged)
-        value = xp.sum_scalar(ops[0])
-        if compiled.steps and not compiled.steps[-1].out_batched:
-            # Unreachable for circuit networks (a sliced label always
-            # reaches the final merge), kept for plan generality: an
-            # unbatched final operand contributes once per slice.
-            value *= len(chunk)
-        total += value
+        with _trace.span("slices.chunk") as chunk_span:
+            chunk_span.set(slices=len(chunk), device=str(xp.device))
+            with _trace.span("slices.transfer"):
+                ops = applier.gather(xp, chunk)
+            for cstep in compiled.steps:
+                a, b = ops[cstep.lhs], ops[cstep.rhs]
+                del ops[cstep.rhs]
+                del ops[cstep.lhs]
+                lhs_subs, rhs_subs, out_subs = cstep.batched_subscripts
+                merged = xp.einsum(
+                    a, list(lhs_subs), b, list(rhs_subs), list(out_subs)
+                )
+                # Stats keep their established *per-slice* semantics (the
+                # slicing bound and plan.peak_size() are per-slice figures):
+                # divide the batch axis back out and drop its rank.  The
+                # batch memory multiplier is visible via slice_batch and
+                # batched_slice_calls.
+                size = xp.size_of(merged)
+                if cstep.out_batched:
+                    size //= len(chunk)
+                _observe(stats, len(cstep.subscripts[2]), size)
+                ops.append(merged)
+            value = xp.sum_scalar(ops[0])
+            if compiled.steps and not compiled.steps[-1].out_batched:
+                # Unreachable for circuit networks (a sliced label always
+                # reaches the final merge), kept for plan generality: an
+                # unbatched final operand contributes once per slice.
+                value *= len(chunk)
+            total += value
         if stats is not None:
             stats.batched_slice_calls += 1
     return total

@@ -120,6 +120,9 @@ def config_fingerprint(config) -> str:
     record = dict(config.to_dict())
     record.pop("cache", None)
     record.pop("cache_dir", None)
+    # tracing observes a run without changing its verdict, and traced /
+    # untraced requests must share result-cache entries
+    record.pop("trace", None)
     digest = _new_hash("config")
     digest.update(json.dumps(record, sort_keys=True, default=str).encode())
     return digest.hexdigest()

@@ -101,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the full result as one JSON object",
     )
+    check.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a span trace of the check and write Chrome "
+        "trace-event JSON to FILE (open it at https://ui.perfetto.dev); "
+        "--json output carries the span tree inline as 'trace'",
+    )
 
     fidelity = sub.add_parser("fidelity", help="compute F_J")
     _add_circuit_args(fidelity)
@@ -368,6 +374,8 @@ def _config_overrides(args) -> dict:
         overrides["plan_budget_seconds"] = args.plan_budget
     if getattr(args, "plan_seed", None) is not None:
         overrides["plan_seed"] = args.plan_seed
+    if getattr(args, "trace", None) is not None:
+        overrides["trace"] = True
     return overrides
 
 
@@ -409,6 +417,15 @@ def cmd_check(args) -> int:
     except ReproError as error:
         return _print_error(error)
     result = response.result
+    trace_note = None
+    if args.trace and result.trace is not None:
+        from .trace import chrome_trace, tree_records
+
+        spans = tree_records(result.trace)
+        with open(args.trace, "w") as handle:
+            json.dump(chrome_trace(spans), handle, indent=1)
+            handle.write("\n")
+        trace_note = f"{args.trace} ({len(spans)} spans)"
     if args.json:
         print(response.to_json())
         return 0 if result.equivalent else 1
@@ -421,6 +438,8 @@ def cmd_check(args) -> int:
     print(f"time      : {result.stats.time_seconds:.3f} s")
     if result.note:
         print(f"note      : {result.note}")
+    if trace_note is not None:
+        print(f"trace     : {trace_note}")
     return 0 if result.equivalent else 1
 
 
@@ -494,18 +513,30 @@ def _cmd_plan_compare(args, network, plan_seed: int) -> int:
 
     Search planners run under ``--plan-budget``/``--plan-seed``; the
     heuristic planners plan as usual.  The cheapest plan is starred.
+    Every row carries a span trace of its planning run (``trace`` in the
+    JSON form, a summary section in the report) — the search planners'
+    ``plan.search`` spans show where the budget went.
     """
+    from .trace import TraceRecorder, recording, span as trace_span, span_tree
+
     rows = []
+    traces = []
     for planner in PLANNERS:
+        recorder = TraceRecorder()
         started = time.perf_counter()
-        plan = build_plan(
-            network,
-            planner=planner,
-            order_method=args.order_method,
-            max_intermediate_size=args.max_intermediate,
-            plan_budget_seconds=args.plan_budget,
-            plan_seed=plan_seed,
-        )
+        with recording(recorder):
+            with trace_span("plan.build", planner=planner) as build_span:
+                plan = build_plan(
+                    network,
+                    planner=planner,
+                    order_method=args.order_method,
+                    max_intermediate_size=args.max_intermediate,
+                    plan_budget_seconds=args.plan_budget,
+                    plan_seed=plan_seed,
+                )
+                build_span.set(
+                    cost=plan.total_cost(), slices=plan.num_slices()
+                )
         seconds = time.perf_counter() - started
         report = plan.search_report
         rows.append({
@@ -518,7 +549,9 @@ def _cmd_plan_compare(args, network, plan_seed: int) -> int:
             "num_slices": plan.num_slices(),
             "plan_seconds": seconds,
             "trials": report.trials if report is not None else None,
+            "trace": span_tree(recorder),
         })
+        traces.append(recorder)
     best_cost = min(row["total_cost"] for row in rows)
     for row in rows:
         row["best"] = row["total_cost"] == best_cost
@@ -539,6 +572,23 @@ def _cmd_plan_compare(args, network, plan_seed: int) -> int:
             f"{row['num_slices']:>7} {row['plan_seconds']:>8.3f} "
             f"{trials:>7}"
         )
+    print("trace:")
+    for row, recorder in zip(rows, traces):
+        # top-level spans only: trial batches would drown the summary
+        parts = []
+        for span in recorder.spans:
+            if span.name == "plan.search.trials":
+                continue
+            attrs = ", ".join(
+                f"{key}={value}"
+                for key, value in span.attributes.items()
+                if key != "planner"
+            )
+            note = f" ({attrs})" if attrs else ""
+            parts.append(
+                f"{span.name} {span.duration_ns / 1e6:.1f}ms{note}"
+            )
+        print(f"  {row['planner']:<10} {'; '.join(parts)}")
     return 0
 
 

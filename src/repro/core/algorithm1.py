@@ -24,6 +24,7 @@ from typing import Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import trace as _trace
 from ..backends import ContractionBackend, resolve_backend
 from ..circuits import QuantumCircuit
 from ..tensornet import ContractionStats
@@ -142,47 +143,59 @@ def fidelity_individual(
         if template is not None:
             template_ids = {id(t) for t in template.network.tensors}
 
-    for selection in enumerate_selections(noisy, dominant_first=dominant_first):
-        if max_terms is not None and stats.terms_computed >= max_terms:
-            completed = False
-            break
-        if (
-            time_budget_seconds is not None
-            and time.perf_counter() - start > time_budget_seconds
+    # One aggregate span for the whole term loop — per-term spans would
+    # add thousands of records and real overhead to exactly the loop
+    # this tracer exists to keep honest.
+    with _trace.span(
+        "alg1.terms", terms_total=stats.terms_total
+    ) as terms_span:
+        for selection in enumerate_selections(
+            noisy, dominant_first=dominant_first
         ):
-            stats.timed_out = True
-            completed = False
-            break
-        term_start = time.perf_counter()
-        if template is not None:
-            network = template.instantiate(selection)
-        else:
-            lowered = lower_kraus_selection(noisy, selection)
-            network = alg1_trace_network(
-                lowered, ideal,
-                use_local_optimisations=use_local_optimisations,
+            if max_terms is not None and stats.terms_computed >= max_terms:
+                completed = False
+                break
+            if (
+                time_budget_seconds is not None
+                and time.perf_counter() - start > time_budget_seconds
+            ):
+                stats.timed_out = True
+                completed = False
+                break
+            term_start = time.perf_counter()
+            if template is not None:
+                network = template.instantiate(selection)
+            else:
+                lowered = lower_kraus_selection(noisy, selection)
+                network = alg1_trace_network(
+                    lowered, ideal,
+                    use_local_optimisations=use_local_optimisations,
+                )
+            cstats = ContractionStats()
+            trace = engine.contract_scalar(
+                network, stats=cstats, cacheable_tensor_ids=template_ids
             )
-        cstats = ContractionStats()
-        trace = engine.contract_scalar(
-            network, stats=cstats, cacheable_tensor_ids=template_ids
+            stats.max_nodes = max(stats.max_nodes, cstats.max_nodes)
+            stats.max_intermediate_size = max(
+                stats.max_intermediate_size, cstats.max_intermediate_size
+            )
+            stats.predicted_cost += cstats.predicted_cost
+            stats.predicted_peak_size = max(
+                stats.predicted_peak_size, cstats.predicted_peak_size
+            )
+            stats.slice_count = max(stats.slice_count, cstats.slice_count)
+            stats.batched_slice_calls += cstats.batched_slice_calls
+            total += abs(trace) ** 2
+            stats.terms_computed += 1
+            stats.term_times.append(time.perf_counter() - term_start)
+            if target is not None and total > target:
+                stats.early_stopped = True
+                completed = stats.terms_computed == stats.terms_total
+                break
+        terms_span.set(
+            terms_computed=stats.terms_computed,
+            early_stopped=stats.early_stopped,
         )
-        stats.max_nodes = max(stats.max_nodes, cstats.max_nodes)
-        stats.max_intermediate_size = max(
-            stats.max_intermediate_size, cstats.max_intermediate_size
-        )
-        stats.predicted_cost += cstats.predicted_cost
-        stats.predicted_peak_size = max(
-            stats.predicted_peak_size, cstats.predicted_peak_size
-        )
-        stats.slice_count = max(stats.slice_count, cstats.slice_count)
-        stats.batched_slice_calls += cstats.batched_slice_calls
-        total += abs(trace) ** 2
-        stats.terms_computed += 1
-        stats.term_times.append(time.perf_counter() - term_start)
-        if target is not None and total > target:
-            stats.early_stopped = True
-            completed = stats.terms_computed == stats.terms_total
-            break
 
     stats.time_seconds = time.perf_counter() - start
     fidelity = min(total / (dim * dim), 1.0)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from typing import Optional, Union
 
+from .. import trace as _trace
 from ..backends import ContractionBackend, resolve_backend
 from ..circuits import QuantumCircuit
 from ..tensornet import ContractionStats
@@ -58,7 +59,8 @@ def fidelity_collective(
         noisy, ideal, use_local_optimisations=use_local_optimisations
     )
     cstats = ContractionStats()
-    value = engine.contract_scalar(network, stats=cstats)
+    with _trace.span("alg2.contract"):
+        value = engine.contract_scalar(network, stats=cstats)
     stats.max_nodes = cstats.max_nodes
     stats.max_intermediate_size = cstats.max_intermediate_size
     stats.predicted_cost = cstats.predicted_cost

@@ -36,6 +36,7 @@ from ..cache import CheckCache
 from ..circuits import QuantumCircuit
 from ..tensornet.ordering import ORDER_HEURISTICS
 from ..tensornet.planner import PLANNERS
+from .. import trace as _trace
 from .algorithm1 import fidelity_individual
 from .algorithm2 import fidelity_collective
 from .jamiolkowski import jamiolkowski_fidelity_dense
@@ -106,6 +107,9 @@ class CheckConfig:
     #: seed of the search planners' randomized trials (ignored by
     #: 'order'/'greedy'); fixed seed = reproducible searched plans
     plan_seed: int = 0
+    #: record a span trace of the run and attach it to the result
+    #: (``CheckResult.trace``); see repro.trace / docs/observability.md
+    trace: bool = False
 
     def __post_init__(self):
         if not 0.0 <= self.epsilon <= 1.0:
@@ -319,14 +323,34 @@ class CheckSession:
         the run's plan-cache hits in ``stats.plan_cache_hit``, and feed
         the cache for every later process.
         """
+        return self._traced(lambda: self._check(ideal, noisy))
+
+    def _traced(self, compute) -> CheckResult:
+        """Run ``compute`` under a fresh trace recorder when the config
+        asks for one and no outer layer (the Engine) installed its own;
+        the span tree lands on ``result.trace``."""
+        if not self.config.trace or _trace.current_recorder() is not None:
+            return compute()
+        recorder = _trace.TraceRecorder()
+        with _trace.recording(recorder):
+            result = compute()
+        result.trace = _trace.span_tree(recorder)
+        return result
+
+    def _check(
+        self, ideal: QuantumCircuit, noisy: QuantumCircuit
+    ) -> CheckResult:
         cfg = self.config
         self._validate_pair(ideal, noisy)
         algorithm = self.select_algorithm(noisy)
         key = None
         if self.cache is not None and self._result_cacheable():
             lookup_start = time.perf_counter()
-            key = self.cache.results.key_for(ideal, noisy, cfg)
-            cached = self.cache.results.get(key)
+            with _trace.span("request.fingerprint"):
+                key = self.cache.results.key_for(ideal, noisy, cfg)
+            with _trace.span("cache.result.get") as lookup_span:
+                cached = self.cache.results.get(key)
+                lookup_span.set(hit=cached is not None)
             if cached is not None:
                 # A fresh object per hit (pickle round-trip inside the
                 # adapter), so re-stamping cannot corrupt the store.
@@ -337,19 +361,31 @@ class CheckSession:
                 cached.stats.plan_cache_hit = 0
                 cached.stats.planning_seconds = 0.0
                 cached.stats.plan_trials = 0
+                # This hit did no contraction work; the stored run's
+                # work counters would otherwise re-inflate aggregate
+                # metrics (StatsAggregator sums cpu/term/slice counts)
+                # on every warm request.
+                cached.stats.cpu_seconds = 0.0
+                cached.stats.batched_slice_calls = 0
+                cached.stats.terms_computed = 0
                 cached.stats.result_cache_hit = 1
+                cached.trace = None
                 return cached
         plan_hits_before = (
             self.backend.plan_cache_hits if self.cache is not None else 0
         )
-        result = self._fidelity_result(ideal, noisy, algorithm, cfg.epsilon)
+        with _trace.span("session.check", algorithm=algorithm):
+            result = self._fidelity_result(
+                ideal, noisy, algorithm, cfg.epsilon
+            )
         outcome = self._verdict(result, algorithm)
         if self.cache is not None:
             outcome.stats.plan_cache_hit = (
                 self.backend.plan_cache_hits - plan_hits_before
             )
             if key is not None and not outcome.stats.timed_out:
-                self.cache.results.put(key, outcome)
+                with _trace.span("cache.result.put"):
+                    self.cache.results.put(key, outcome)
         return outcome
 
     def _verdict(
@@ -484,8 +520,11 @@ class CheckSession:
             raise ValueError(
                 f"unknown run mode {mode!r}; choose from {list(RUN_MODES)}"
             )
-        result = self.fidelity_result(ideal, noisy)
-        return self._verdict(result, result.stats.algorithm)
+        def compute() -> CheckResult:
+            result = self.fidelity_result(ideal, noisy)
+            return self._verdict(result, result.stats.algorithm)
+
+        return self._traced(compute)
 
     @staticmethod
     def _validate_pair(

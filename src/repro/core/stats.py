@@ -311,6 +311,9 @@ class CheckResult:
     #: registry name of the contraction backend that did the work
     backend: str = ""
     note: Optional[str] = None
+    #: compact span tree of the run (see :func:`repro.trace.span_tree`)
+    #: when the check ran with ``CheckConfig(trace=True)``, else None
+    trace: Optional[dict] = None
 
     @property
     def verdict(self) -> str:
@@ -326,7 +329,7 @@ class CheckResult:
         shape (the CLI adds its ``line``/``ideal``/``noisy`` envelope
         fields on batch records).
         """
-        return {
+        record = {
             "schema_version": SCHEMA_VERSION,
             "equivalent": self.equivalent,
             "verdict": self.verdict,
@@ -339,6 +342,10 @@ class CheckResult:
             "note": self.note,
             "stats": self.stats.to_dict(),
         }
+        # additive: only traced runs carry the key (version stays "1")
+        if self.trace is not None:
+            record["trace"] = self.trace
+        return record
 
     def to_json(self, **kwargs) -> str:
         """JSON form; ``kwargs`` forward to :func:`json.dumps`."""

@@ -30,6 +30,7 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
+from .. import trace as _trace
 from ..tensornet import ContractionStats, TensorNetwork
 from ..tensornet.planner import ContractionPlan, iter_slice_assignments
 from .worker import run_slice_chunk_blob
@@ -201,15 +202,35 @@ class ProcessSliceExecutor(SliceExecutor):
         blob = pickle.dumps((network, plan), pickle.HIGHEST_PROTOCOL)
         digest = hashlib.sha1(blob).hexdigest()
         pool = self._ensure_pool()
-        futures = [
-            pool.submit(run_slice_chunk_blob, spec, digest, blob, chunk)
-            for chunk in chunks
-        ]
-        total = 0j
-        for future in futures:  # submission order: deterministic reduce
-            value, chunk_stats = future.result()
-            total += value
-            fold_measured_stats(stats, chunk_stats)
+        recorder = _trace.current_recorder()
+        tracing = recorder is not None
+        with _trace.span("slices.dispatch") as dispatch_span:
+            dispatch_span.set(chunks=len(chunks), jobs=self.jobs)
+            futures = [
+                pool.submit(
+                    run_slice_chunk_blob, spec, digest, blob, chunk, tracing
+                )
+                for chunk in chunks
+            ]
+            total = 0j
+            # submission order: deterministic reduce — and the order
+            # worker span records fold into the parent trace, exactly
+            # like the stats merge below.
+            for worker_index, future in enumerate(futures):
+                value, chunk_stats = future.result()
+                total += value
+                fold_measured_stats(stats, chunk_stats)
+                if tracing:
+                    records = chunk_stats.extra.pop("trace_spans", None)
+                    if records:
+                        # Worker clocks are not ours: re-anchor each
+                        # chunk's spans at the dispatch span's start so
+                        # they nest inside the dispatch window.
+                        recorder.fold(
+                            records,
+                            attributes={"worker": worker_index},
+                            align_start_ns=dispatch_span.span.start_ns,
+                        )
         return total
 
     def close(self) -> None:

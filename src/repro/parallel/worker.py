@@ -29,6 +29,7 @@ from __future__ import annotations
 import pickle
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import trace as _trace
 from ..tensornet import ContractionStats, TensorNetwork
 from ..tensornet.planner import ContractionPlan
 
@@ -64,17 +65,32 @@ def run_slice_chunk(
     network: TensorNetwork,
     plan: ContractionPlan,
     assignments: Sequence[Dict[str, int]],
+    trace_spans: bool = False,
 ) -> Tuple[complex, ContractionStats]:
     """Contract one chunk of slice assignments; return (partial sum, stats).
 
     The returned stats carry the chunk's *measured* fields (peak nodes /
     intermediate sizes); the caller folds them into its own collector.
+    With ``trace_spans`` the chunk records its own span trace (rooted at
+    ``slices.worker``) and ships the picklable records back in
+    ``stats.extra["trace_spans"]`` for the dispatching executor to fold
+    into the parent trace.
     """
     backend = backend_for_spec(spec)
     stats = ContractionStats()
-    value = backend.contract_scalar(
-        network, stats=stats, plan=plan, assignments=list(assignments)
-    )
+    if not trace_spans:
+        value = backend.contract_scalar(
+            network, stats=stats, plan=plan, assignments=list(assignments)
+        )
+        return value, stats
+    recorder = _trace.TraceRecorder()
+    with _trace.recording(recorder):
+        with _trace.span("slices.worker", slices=len(assignments)):
+            value = backend.contract_scalar(
+                network, stats=stats, plan=plan,
+                assignments=list(assignments),
+            )
+    stats.extra["trace_spans"] = recorder.export_records()
     return value, stats
 
 
@@ -83,6 +99,7 @@ def run_slice_chunk_blob(
     digest: str,
     blob: bytes,
     assignments: Sequence[Dict[str, int]],
+    trace_spans: bool = False,
 ) -> Tuple[complex, ContractionStats]:
     """:func:`run_slice_chunk` with a shared pre-pickled payload.
 
@@ -96,7 +113,9 @@ def run_slice_chunk_blob(
         payload = pickle.loads(blob)
         _WORKER_PAYLOADS[digest] = payload
     network, plan = payload
-    return run_slice_chunk(spec, network, plan, assignments)
+    return run_slice_chunk(
+        spec, network, plan, assignments, trace_spans=trace_spans
+    )
 
 
 def session_for_config(config):

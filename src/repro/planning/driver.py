@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
+from .. import trace as _trace
 from ..tensornet.network import TensorNetwork
 from ..tensornet.planner import (
     SEARCH_PLANNERS,
@@ -51,6 +52,11 @@ DEFAULT_PLAN_BUDGET_SECONDS = 1.0
 
 #: Merge pairs over stable operand ids (the searcher output format).
 MergePairs = List[Tuple[int, int]]
+
+#: Trials grouped under one ``plan.search.trials`` span.  Small enough
+#: that a trace shows cost progress over the budget, large enough that
+#: span bookkeeping stays negligible next to the trials themselves.
+TRIAL_SPAN_BATCH = 25
 
 
 @dataclass(frozen=True)
@@ -248,35 +254,56 @@ def search_plan(
     if trials is None and budget_seconds is None:
         budget_seconds = DEFAULT_PLAN_BUDGET_SECONDS
 
-    start = clock()
-    baselines = _baseline_plans(network)
-    base_name, base_plan = min(
-        baselines,
-        key=lambda pair: (pair[1].total_cost(), pair[1].peak_size(), pair[0]),
-    )
-    inputs, dims = _plan_inputs(network)
-    searcher = SEARCHERS[planner](inputs, dims)
+    with _trace.span("plan.search", planner=planner) as search_span:
+        start = clock()
+        baselines = _baseline_plans(network)
+        base_name, base_plan = min(
+            baselines,
+            key=lambda pair: (
+                pair[1].total_cost(), pair[1].peak_size(), pair[0]
+            ),
+        )
+        inputs, dims = _plan_inputs(network)
+        searcher = SEARCHERS[planner](inputs, dims)
 
-    best_cost = base_plan.total_cost()
-    best_pairs: Optional[MergePairs] = None
-    best_trial: Optional[int] = None
-    trajectory: List[Tuple[int, int]] = []
-    trial = 0
-    while True:
-        if trials is not None:
-            if trial >= trials:
-                break
-        elif clock() - start >= budget_seconds:
-            break
-        rng = np.random.default_rng([seed, trial])
-        outcome = searcher.trial(rng, best_cost)
-        if outcome is not None:
-            cost, pairs = outcome
-            if cost < best_cost:
-                best_cost, best_pairs, best_trial = cost, pairs, trial
-                trajectory.append((trial, cost))
-        trial += 1
-    search_seconds = clock() - start
+        best_cost = base_plan.total_cost()
+        best_pairs: Optional[MergePairs] = None
+        best_trial: Optional[int] = None
+        trajectory: List[Tuple[int, int]] = []
+        trial = 0
+
+        def more() -> bool:
+            if trials is not None:
+                return trial < trials
+            return clock() - start < budget_seconds
+
+        # ``more()`` runs exactly once per trial (the budget clock ticks
+        # once per loop check, and injected test clocks rely on that);
+        # the batch grouping below only decides span boundaries.
+        run_more = more()
+        while run_more:
+            # one span per batch of trials, so a trace shows search
+            # progress without a span per restart
+            with _trace.span("plan.search.trials") as batch_span:
+                ran = 0
+                while True:
+                    rng = np.random.default_rng([seed, trial])
+                    outcome = searcher.trial(rng, best_cost)
+                    if outcome is not None:
+                        cost, pairs = outcome
+                        if cost < best_cost:
+                            best_cost, best_pairs, best_trial = (
+                                cost, pairs, trial
+                            )
+                            trajectory.append((trial, cost))
+                    trial += 1
+                    ran += 1
+                    run_more = more()
+                    if not run_more or ran >= TRIAL_SPAN_BATCH:
+                        break
+                batch_span.set(trials=ran, best_cost=best_cost)
+        search_seconds = clock() - start
+        search_span.set(trials=trial, best_cost=best_cost)
 
     if best_pairs is None:
         plan = replace(base_plan, planner=planner)

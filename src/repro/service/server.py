@@ -35,12 +35,19 @@ admission slot so capacity accounting stays truthful.  Every request
 emits one structured JSON log line.  ``SIGTERM``/``SIGINT`` stop the
 listener, drain in-flight requests (grace-bounded) and close the
 engine.
+
+Observability: an ``X-Repro-Trace: 1`` header on ``POST /v1/check``
+turns on span tracing for that request (the span tree rides back inline
+as the result's ``trace`` key), every successful check feeds the
+``repro_phase_seconds{phase=...}`` histogram, and the access log's
+``trace_id`` field is the same 16-hex :meth:`CheckRequest.trace_id`
+that job ids and span traces carry — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import asyncio
-import hashlib
+import dataclasses
 import json
 import signal
 import sys
@@ -61,6 +68,7 @@ from ..api.errors import (
 from ..api.request import CheckRequest
 from ..api.response import CheckResponse
 from ..core.stats import SCHEMA_VERSION, StatsAggregator
+from ..trace import tree_phase_seconds
 from .http import (
     LAST_CHUNK,
     HttpError,
@@ -97,16 +105,27 @@ def http_status_for(code: str) -> int:
 
 
 def request_log_fingerprint(request: CheckRequest) -> str:
-    """A cheap, stable fingerprint of a request for log correlation.
+    """A cheap, stable identity of a request for log correlation.
 
-    SHA-256 over the canonical wire form, truncated: spec-identical
-    requests log the same value across processes and restarts.  This is
-    *not* the result-cache key (:meth:`Engine.fingerprint` hashes the
-    resolved circuit content, which costs a resolution); a log line
-    must never pay contraction-scale work.
+    Delegates to :meth:`CheckRequest.trace_id` — the access log, job ids
+    and span traces share one 16-hex field, so one ``grep`` follows a
+    request across all three.  This is *not* the result-cache key
+    (:meth:`Engine.fingerprint` hashes the resolved circuit content,
+    which costs a resolution); a log line must never pay
+    contraction-scale work.
     """
-    canonical = json.dumps(request.to_dict(), sort_keys=True)
-    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+    return request.trace_id()
+
+
+def _job_trace_id(job_id: str) -> Optional[str]:
+    """The 16-hex trace id embedded in a ``job-<id>-<n>`` job id."""
+    parts = job_id.split("-")
+    if len(parts) == 3 and parts[0] == "job" and len(parts[1]) == 16:
+        return parts[1]
+    return None
+
+
+_TRUTHY_HEADER = ("1", "true", "yes", "on")
 
 
 @dataclass(frozen=True)
@@ -221,6 +240,13 @@ class ReproService:
             "repro_batch_rows_total",
             "NDJSON batch rows streamed, by verdict.",
             ("verdict",),
+        )
+        self._phase_seconds = self.registry.histogram(
+            "repro_phase_seconds",
+            "Per-check seconds attributed to each phase "
+            "(resolve/cache/plan/compile/execute); span-accurate when "
+            "the check was traced, coarse RunStats split otherwise.",
+            ("phase",),
         )
 
     # --- lifecycle ------------------------------------------------------------
@@ -502,7 +528,7 @@ class ReproService:
     def _response_log(self, response: CheckResponse) -> dict:
         log = {"verdict": response.verdict}
         if response.request is not None:
-            log["fingerprint"] = request_log_fingerprint(response.request)
+            log["trace_id"] = request_log_fingerprint(response.request)
         if response.ok:
             stats = response.stats
             log["plan_cache_hit"] = stats.plan_cache_hit
@@ -511,8 +537,43 @@ class ReproService:
             log["error_code"] = response.error_code
         return log
 
+    def _observe_phases(self, response: CheckResponse) -> None:
+        """Feed ``repro_phase_seconds`` from one successful response.
+
+        A traced result carries its span tree, so the per-phase split is
+        exact; untraced results fall back to the coarse split RunStats
+        already records (cache-hit time, planning vs the rest).
+        """
+        if not response.ok:
+            return
+        stats = response.stats
+        trace = response.result.trace if response.result is not None else None
+        if trace is not None:
+            phases = tree_phase_seconds(trace)
+        elif stats.result_cache_hit:
+            phases = {"cache": stats.time_seconds}
+        else:
+            planning = min(stats.planning_seconds, stats.time_seconds)
+            phases = {
+                "plan": planning,
+                "execute": stats.time_seconds - planning,
+            }
+        for phase, seconds in phases.items():
+            if seconds > 0.0:
+                self._phase_seconds.labels(phase=phase).observe(seconds)
+
     async def _handle_check(self, request: HttpRequest) -> _Outcome:
         check_request = self._parse_check_request(request.body)
+        traced = str(
+            request.headers.get("x-repro-trace", "")
+        ).strip().lower() in _TRUTHY_HEADER
+        if traced:
+            # The header is sugar for config.trace=true: the span tree
+            # rides back inline as the result's "trace" key.
+            check_request = dataclasses.replace(
+                check_request,
+                config={**dict(check_request.config), "trace": True},
+            )
         deadline = self._deadline_for(request)
         if not self._try_acquire_slot():
             return self._overloaded()
@@ -520,6 +581,7 @@ class ReproService:
             lambda: self.engine.respond(check_request), deadline
         )
         self.stats.add(response.stats)
+        self._observe_phases(response)
         status = 200 if response.ok else http_status_for(response.error_code)
         outcome = _Outcome(
             status=status,
@@ -538,12 +600,13 @@ class ReproService:
         handle = await self._run_blocking(
             lambda: self.engine.submit(check_request), deadline
         )
+        trace_id = request_log_fingerprint(check_request)
         return _json_outcome(202, {
             "schema_version": SCHEMA_VERSION,
             "id": handle.id,
             "state": self.engine.job_state(handle),
-        }, log={"job_id": handle.id,
-                "fingerprint": request_log_fingerprint(check_request)})
+            "trace_id": trace_id,
+        }, log={"job_id": handle.id, "trace_id": trace_id})
 
     async def _handle_job_poll(self, request: HttpRequest) -> _Outcome:
         job_id = request.path.rsplit("/", 1)[1]
@@ -553,11 +616,17 @@ class ReproService:
                 f"unknown, already-collected or evicted job {job_id!r}"
             )
         if state == "running":
-            return _json_outcome(202, {
+            body = {
                 "schema_version": SCHEMA_VERSION,
                 "id": job_id,
                 "state": state,
-            }, log={"job_id": job_id, "state": state})
+            }
+            trace_id = _job_trace_id(job_id)
+            if trace_id is not None:
+                body["trace_id"] = trace_id
+            return _json_outcome(
+                202, body, log={"job_id": job_id, "state": state}
+            )
         # done / failed / deferred: collect (deferred jobs run now)
         deadline = self._deadline_for(request)
         if not self._try_acquire_slot():
@@ -566,9 +635,13 @@ class ReproService:
             lambda: self.engine.result(job_id), deadline
         )
         self.stats.add(response.stats)
+        self._observe_phases(response)
         status = 200 if response.ok else http_status_for(response.error_code)
         log = self._response_log(response)
         log["job_id"] = job_id
+        trace_id = _job_trace_id(job_id)
+        if trace_id is not None:
+            log.setdefault("trace_id", trace_id)
         return _Outcome(
             status=status,
             body=(response.to_json() + "\n").encode(),
@@ -631,6 +704,7 @@ class ReproService:
                     else:
                         response = next(responses)
                         self.stats.add(response.stats)
+                        self._observe_phases(response)
                         record = response.to_dict()
                     record["index"] = index
                     line = (json.dumps(record) + "\n").encode()

@@ -1,0 +1,46 @@
+"""repro.trace — dependency-free cross-layer span tracing.
+
+Write side (:mod:`.recorder`): ``with trace.span("plan.search", ...)``
+records into the context's active :class:`TraceRecorder`, or does
+nothing at all when tracing is disabled (the default).  Read side
+(:mod:`.export`): Chrome trace-event JSON for Perfetto, the compact
+span tree that rides on traced check results, and per-phase wall-time
+totals for the service's ``repro_phase_seconds`` histograms.
+
+Enable per check with ``CheckConfig(trace=True)`` (wire config override
+``{"trace": true}``), per CLI run with ``repro check --trace out.json``,
+or per HTTP request with the ``X-Repro-Trace: 1`` header.  See
+``docs/observability.md`` for the span vocabulary.
+"""
+
+from .export import (
+    PHASE_BY_SPAN,
+    PHASES,
+    chrome_trace,
+    phase_seconds,
+    span_tree,
+    tree_phase_seconds,
+    tree_records,
+)
+from .recorder import (
+    Span,
+    TraceRecorder,
+    current_recorder,
+    recording,
+    span,
+)
+
+__all__ = [
+    "PHASE_BY_SPAN",
+    "PHASES",
+    "Span",
+    "TraceRecorder",
+    "chrome_trace",
+    "current_recorder",
+    "phase_seconds",
+    "recording",
+    "span",
+    "span_tree",
+    "tree_phase_seconds",
+    "tree_records",
+]

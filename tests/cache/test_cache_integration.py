@@ -27,7 +27,9 @@ from repro.noise import depolarizing, insert_random_noise
 BACKENDS = ["tdd", "dense", "einsum"]
 
 #: to_dict fields legitimately differing between a cold run and a
-#: cache hit (everything else must be byte-identical)
+#: cache hit (everything else must be byte-identical).  A hit zeroes
+#: every per-run work counter — it did no contraction — so cumulative
+#: aggregates (StatsAggregator, /metrics) never re-count cached work.
 TIMING_AND_COUNTER_FIELDS = (
     "time_seconds",
     "cpu_seconds",
@@ -36,6 +38,8 @@ TIMING_AND_COUNTER_FIELDS = (
     "planning_seconds",
     "plan_trials",
     "result_cache_hit",
+    "batched_slice_calls",
+    "terms_computed",
 )
 
 

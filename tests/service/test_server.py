@@ -43,11 +43,21 @@ def check_body(**overrides):
 
 
 @pytest.fixture(scope="module")
-def server():
+def server(tmp_path_factory):
+    # module scope outlives the autouse per-test cache isolation, and
+    # the engine resolves $REPRO_CACHE_DIR at construction — pin the
+    # env here so the module's cache never touches ~/.cache/repro
+    patch = pytest.MonkeyPatch()
+    patch.setenv(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("service-cache"))
+    )
     log = io.StringIO()
-    with ServiceThread(Engine(cache=True), log_stream=log) as handle:
-        handle.log = log
-        yield handle
+    try:
+        with ServiceThread(Engine(cache=True), log_stream=log) as handle:
+            handle.log = log
+            yield handle
+    finally:
+        patch.undo()
 
 
 class TestHealthAndRouting:
@@ -236,8 +246,103 @@ class TestMetricsAndLogs:
         assert record["method"] == "POST"
         assert record["status"] == 200
         assert record["wall_ms"] >= 0
-        assert len(record["fingerprint"]) == 16
+        assert len(record["trace_id"]) == 16
         assert "result_cache_hit" in record
+
+
+def wait_for_log(server, predicate, timeout=5.0):
+    """Log lines land after the response drains — poll briefly."""
+    deadline = time.time() + timeout
+    while True:
+        matches = [
+            record
+            for record in (
+                json.loads(line)
+                for line in server.log.getvalue().splitlines()
+            )
+            if predicate(record)
+        ]
+        if matches or time.time() >= deadline:
+            return matches
+        time.sleep(0.01)
+
+
+class TestTracing:
+    def test_trace_header_inlines_the_span_tree(self, server):
+        status, _, body = call(
+            server, "POST", "/v1/check",
+            body=check_body(epsilon=0.043),
+            headers={"X-Repro-Trace": "1"},
+        )
+        assert status == 200
+        record = json.loads(body)
+        tree = record["trace"]
+        assert tree["name"] == "engine.request"
+        assert len(tree["attrs"]["trace_id"]) == 16
+        assert tree["children"]
+
+    def test_no_header_means_no_trace(self, server):
+        status, _, body = call(
+            server, "POST", "/v1/check", body=check_body(epsilon=0.042)
+        )
+        assert status == 200
+        assert "trace" not in json.loads(body)
+
+    def test_zero_header_value_stays_off(self, server):
+        status, _, body = call(
+            server, "POST", "/v1/check",
+            body=check_body(epsilon=0.041),
+            headers={"X-Repro-Trace": "0"},
+        )
+        assert status == 200
+        assert "trace" not in json.loads(body)
+
+    def test_phase_seconds_histogram_is_exported(self, server):
+        # a sliced einsum check exercises every phase incl. execute
+        call(
+            server, "POST", "/v1/check",
+            body=check_body(epsilon=0.047, config={
+                "backend": "einsum",
+                "planner": "order",
+                "max_intermediate_size": 64,
+                "slice_batch": 4,
+            }),
+            headers={"X-Repro-Trace": "1"},
+        )
+        _, _, body = call(server, "GET", "/metrics")
+        text = body.decode()
+        assert "# TYPE repro_phase_seconds histogram" in text
+        assert 'repro_phase_seconds_bucket{phase="execute"' in text
+        assert 'repro_phase_seconds_count{phase="plan"' in text
+
+    def test_trace_id_threads_through_the_job_lifecycle(self, server):
+        status, _, body = call(
+            server, "POST", "/v1/jobs", body=check_body(epsilon=0.046)
+        )
+        assert status == 202
+        job = json.loads(body)
+        assert len(job["trace_id"]) == 16
+        assert job["id"].startswith(f"job-{job['trace_id']}-")
+        status, _, _ = call(server, "GET", f"/v1/jobs/{job['id']}")
+        assert status == 200
+        collected = wait_for_log(
+            server,
+            lambda l: l.get("job_id") == job["id"]
+            and l.get("status") == 200,
+        )
+        assert collected
+        assert collected[-1]["trace_id"] == job["trace_id"]
+
+    def test_check_log_and_trace_share_one_identity(self, server):
+        _, _, body = call(
+            server, "POST", "/v1/check",
+            body=check_body(epsilon=0.049),
+            headers={"X-Repro-Trace": "yes"},
+        )
+        trace_id = json.loads(body)["trace"]["attrs"]["trace_id"]
+        assert wait_for_log(
+            server, lambda l: l.get("trace_id") == trace_id
+        )
 
 
 class _GatedEngine(Engine):

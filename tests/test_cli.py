@@ -750,3 +750,68 @@ class TestBadFlagErrors:
         captured = capsys.readouterr()
         assert code == 2
         assert "invalid_noise_spec" in captured.err
+
+
+class TestTraceFlag:
+    def test_trace_writes_a_chrome_trace_file(self, qasm_file, tmp_path,
+                                              capsys):
+        out = tmp_path / "trace.json"
+        code = main([
+            "check", qasm_file, "--noises", "2", "--epsilon", "0.05",
+            "--trace", str(out),
+        ])
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert str(out) in stdout  # the human report names the file
+        doc = json.loads(out.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert all(event["ph"] == "X" for event in events)
+        names = {event["name"] for event in events}
+        assert "engine.request" in names
+        assert "session.check" in names
+
+    def test_trace_rides_along_in_json_output(self, qasm_file, tmp_path,
+                                              capsys):
+        out = tmp_path / "trace.json"
+        code = main([
+            "check", qasm_file, "--noises", "2", "--epsilon", "0.05",
+            "--trace", str(out), "--json",
+        ])
+        record = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert record["trace"]["name"] == "engine.request"
+        assert out.exists()
+
+    def test_no_trace_flag_means_no_trace(self, qasm_file, capsys):
+        main([
+            "check", qasm_file, "--noises", "2", "--epsilon", "0.05",
+            "--json",
+        ])
+        assert "trace" not in json.loads(capsys.readouterr().out)
+
+    def test_plan_compare_reports_per_planner_traces(self, qasm_file,
+                                                     capsys):
+        code = main([
+            "plan", qasm_file, "--noises", "1", "--json",
+            "--compare", "--plan-budget", "0",
+        ])
+        record = json.loads(capsys.readouterr().out)
+        assert code == 0
+        for row in record["planners"]:
+            tree = row["trace"]
+            names = {tree["name"]} | {
+                child["name"] for child in tree.get("children", ())
+            }
+            assert "plan.build" in names
+
+    def test_plan_compare_table_has_a_trace_section(self, qasm_file,
+                                                    capsys):
+        code = main([
+            "plan", qasm_file, "--noises", "1",
+            "--compare", "--plan-budget", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace:" in out
+        assert "plan.build" in out

@@ -1,0 +1,70 @@
+"""The disabled tracer must be free: a subprocess pins its cost.
+
+Runs in a fresh interpreter so the measurement is not polluted by the
+test session's imports, GC state or an accidentally-left recorder.
+"""
+
+import json
+import subprocess
+import sys
+
+#: Per-call ceiling for a disabled ``trace.span()`` — the no-op path is
+#: one contextvar read plus a singleton return.  Generous enough for a
+#: loaded CI box, tight enough to catch an accidental Span allocation
+#: (which costs an order of magnitude more).
+MAX_DISABLED_NS_PER_CALL = 5_000
+
+PROBE = r"""
+import json
+import timeit
+
+from repro import trace
+
+assert trace.current_recorder() is None
+
+CALLS = 200_000
+disabled = min(
+    timeit.repeat(
+        "span('probe', key=1)",
+        globals={"span": trace.span},
+        number=CALLS,
+        repeat=5,
+    )
+) / CALLS
+
+# the enabled path, for the report (not asserted here: the enabled
+# budget is workload-relative and pinned in benchmarks/bench_service.py)
+recorder = trace.TraceRecorder()
+with trace.recording(recorder):
+    enabled = min(
+        timeit.repeat(
+            "\nwith span('probe', key=1):\n    pass",
+            globals={"span": trace.span},
+            number=10_000,
+            repeat=5,
+        )
+    ) / 10_000
+
+print(json.dumps({
+    "disabled_ns_per_call": disabled * 1e9,
+    "enabled_ns_per_span": enabled * 1e9,
+}))
+"""
+
+
+def test_disabled_span_cost_stays_negligible():
+    proc = subprocess.run(
+        [sys.executable, "-c", PROBE],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    measured = json.loads(proc.stdout)
+    assert measured["disabled_ns_per_call"] < MAX_DISABLED_NS_PER_CALL, (
+        f"disabled trace.span() costs "
+        f"{measured['disabled_ns_per_call']:.0f}ns per call "
+        f"(ceiling {MAX_DISABLED_NS_PER_CALL}ns) — did the no-op "
+        f"path start allocating?"
+    )
+    # sanity: the enabled path did record real time, so the probe ran
+    assert measured["enabled_ns_per_span"] > 0

@@ -1,0 +1,214 @@
+"""Cross-layer tracing through sessions, the engine and worker pools."""
+
+import json
+
+from repro.api import CheckRequest, CheckResponse, CircuitSpec, Engine, NoiseSpec
+from repro.cache.fingerprint import config_fingerprint
+from repro.circuits import QuantumCircuit
+from repro.core.session import CheckConfig, CheckSession
+from repro.noise import depolarizing
+
+
+def pair():
+    ideal = QuantumCircuit(3, "w").h(0).rz(0.3, 0).cx(0, 1).cx(1, 2)
+    noisy = ideal.copy()
+    noisy.append(depolarizing(0.99), [1])
+    return ideal, noisy
+
+
+def request(**config):
+    config.setdefault("backend", "einsum")
+    return CheckRequest(
+        ideal=CircuitSpec.from_library("qft", num_qubits=3),
+        noise=NoiseSpec(noises=2, seed=0),
+        epsilon=0.05,
+        config=config,
+    )
+
+
+def span_names(tree):
+    yield tree["name"]
+    for child in tree.get("children", ()):
+        yield from span_names(child)
+
+
+class TestSessionTrace:
+    def test_untraced_result_carries_no_trace(self):
+        result = CheckSession(CheckConfig(epsilon=0.05)).check(*pair())
+        assert result.trace is None
+        assert "trace" not in result.to_dict()
+
+    def test_traced_result_carries_the_span_tree(self):
+        result = CheckSession(
+            CheckConfig(epsilon=0.05, trace=True)
+        ).check(*pair())
+        names = set(span_names(result.trace))
+        assert "session.check" in names
+        assert result.to_dict()["trace"] == result.trace
+
+    def test_fidelity_mode_traces_too(self):
+        result = CheckSession(
+            CheckConfig(epsilon=0.05, trace=True)
+        ).run(*pair(), "fidelity")
+        assert result.trace is not None
+
+    def test_trace_does_not_change_the_cache_identity(self):
+        plain = CheckConfig(epsilon=0.05)
+        traced = CheckConfig(epsilon=0.05, trace=True)
+        assert config_fingerprint(plain) == config_fingerprint(traced)
+
+
+class TestWarmHitRegression:
+    """A result-cache hit does no work — its stats and trace must say so."""
+
+    def config(self, tmp_path):
+        return CheckConfig(
+            epsilon=0.05, backend="einsum", trace=True,
+            cache=True, cache_dir=str(tmp_path),
+        )
+
+    def test_warm_hit_reports_a_cache_span_and_no_work_spans(
+        self, tmp_path
+    ):
+        ideal, noisy = pair()
+        cold = CheckSession(self.config(tmp_path)).check(ideal, noisy)
+        cold_names = set(span_names(cold.trace))
+        assert "session.check" in cold_names
+        assert "cache.result.put" in cold_names
+
+        warm = CheckSession(self.config(tmp_path)).check(ideal, noisy)
+        assert warm.stats.result_cache_hit == 1
+        warm_names = list(span_names(warm.trace))
+        # a real lookup span, flagged as a hit...
+        gets = [
+            node
+            for node in self._walk(warm.trace)
+            if node["name"] == "cache.result.get"
+        ]
+        assert len(gets) == 1
+        assert gets[0]["attrs"]["hit"] is True
+        # ...and zero planning / execution spans
+        assert not any(
+            name.startswith(("plan.", "slices.", "session.check"))
+            for name in warm_names
+        )
+
+    def test_warm_hit_zeroes_every_work_counter(self, tmp_path):
+        ideal, noisy = pair()
+        CheckSession(self.config(tmp_path)).check(ideal, noisy)
+        warm = CheckSession(self.config(tmp_path)).check(ideal, noisy)
+        stats = warm.stats
+        assert stats.planning_seconds == 0.0
+        assert stats.plan_trials == 0
+        assert stats.cpu_seconds == 0.0
+        assert stats.batched_slice_calls == 0
+        assert stats.terms_computed == 0
+        assert stats.plan_cache_hit == 0
+
+    def _walk(self, tree):
+        yield tree
+        for child in tree.get("children", ()):
+            yield from self._walk(child)
+
+
+class TestEngineTrace:
+    def test_engine_roots_the_trace_with_the_request_id(self):
+        with Engine() as engine:
+            req = request(trace=True)
+            response = engine.check(req)
+        tree = response.result.trace
+        assert tree["name"] == "engine.request"
+        assert tree["attrs"]["trace_id"] == req.trace_id()
+
+    def test_untraced_request_stays_clean(self):
+        with Engine() as engine:
+            response = engine.check(request())
+        assert response.result.trace is None
+        assert "trace" not in response.to_dict()
+
+    def test_wire_round_trip_preserves_the_trace(self):
+        with Engine() as engine:
+            response = engine.check(request(trace=True))
+        parsed = CheckResponse.from_json(response.to_json())
+        assert parsed.result.trace == response.result.trace
+
+    def test_job_ids_embed_the_trace_id(self):
+        with Engine() as engine:
+            req = request()
+            handle = engine.submit(req)
+            assert handle.id.startswith(f"job-{req.trace_id()}-")
+            assert engine.result(handle).ok
+
+    def test_trace_id_is_canonical_and_stable(self):
+        a = request()
+        b = CheckRequest.from_json(a.to_json())
+        assert a.trace_id() == b.trace_id()
+        assert len(a.trace_id()) == 16
+        assert a.trace_id() != request(planner="greedy").trace_id()
+
+
+class TestWorkerSpanPropagation:
+    def test_process_executor_folds_worker_spans(self):
+        from repro import trace as T
+        from repro.backends import get_backend
+        from repro.core.miter import alg2_trace_network
+        from repro.parallel import ProcessSliceExecutor
+
+        ideal, noisy = pair()
+        network = alg2_trace_network(noisy, ideal)
+        with ProcessSliceExecutor(jobs=2) as executor:
+            backend = get_backend(
+                "einsum", max_intermediate_size=8, executor=executor
+            )
+            recorder = T.TraceRecorder()
+            with T.recording(recorder):
+                with T.span("root"):
+                    backend.contract_scalar(network)
+        tree = T.span_tree(recorder)
+        dispatch = next(
+            node for node in self._walk(tree)
+            if node["name"] == "slices.dispatch"
+        )
+        workers = [
+            child for child in dispatch["children"]
+            if child["name"] == "slices.worker"
+        ]
+        assert workers, "no worker spans folded back"
+        # submission order, and every worker span inside the dispatch
+        assert [w["attrs"]["worker"] for w in workers] == list(
+            range(len(workers))
+        )
+        for worker in workers:
+            assert worker["t_ns"] >= dispatch["t_ns"]
+            assert (
+                worker["t_ns"] + worker["dur_ns"]
+                <= dispatch["t_ns"] + dispatch["dur_ns"]
+            )
+
+    def test_untraced_parallel_run_ships_no_records(self):
+        from repro.parallel.worker import run_slice_chunk
+        from repro.backends import get_backend
+        from repro.core.miter import alg2_trace_network
+        from repro.tensornet.planner import iter_slice_assignments
+
+        ideal, noisy = pair()
+        network = alg2_trace_network(noisy, ideal)
+        backend = get_backend("einsum", max_intermediate_size=8)
+        plan = backend.plan_for(network)
+        assignments = list(iter_slice_assignments(plan))
+        _, stats = run_slice_chunk(
+            backend.describe(), network, plan, assignments
+        )
+        assert "trace_spans" not in stats.extra
+        _, traced = run_slice_chunk(
+            backend.describe(), network, plan, assignments,
+            trace_spans=True,
+        )
+        records = traced.extra["trace_spans"]
+        assert records[0]["name"] == "slices.worker"
+        json.dumps(records)  # plain picklable/JSON-able dicts
+
+    def _walk(self, tree):
+        yield tree
+        for child in tree.get("children", ()):
+            yield from self._walk(child)
