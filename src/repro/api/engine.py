@@ -106,6 +106,7 @@ class Engine:
         jobs: int = 1,
         cache: Optional[bool] = None,
         cache_dir: Optional[str] = None,
+        cache_url: Optional[str] = None,
         max_pending_jobs: int = _MAX_PENDING_JOBS,
         job_ttl_seconds: Optional[float] = None,
         **overrides,
@@ -124,6 +125,8 @@ class Engine:
             cache = config.cache
         if cache_dir is None:
             cache_dir = config.cache_dir
+        if cache_url is None:
+            cache_url = config.cache_url
         self.jobs = jobs
         #: bound on uncollected job handles (oldest evicted past it)
         self.max_pending_jobs = max_pending_jobs
@@ -133,14 +136,22 @@ class Engine:
         #: in-process session attaches this object, and worker configs
         #: carry its resolved directory so the pool shares the disk tier
         self.cache: Optional[CheckCache] = (
-            CheckCache.open(cache_dir) if cache else None
+            CheckCache.open(cache_dir, cache_url=cache_url)
+            if cache
+            else None
         )
         self.cache_dir: Optional[str] = (
             self.cache.directory if self.cache is not None else None
         )
+        #: resolved remote-cache address the shared cache dials, if any
+        self.cache_url: Optional[str] = (
+            self.cache.cache_url if self.cache is not None else None
+        )
         #: base config with the cache knobs stripped — sessions must not
         #: open private caches; they share the engine's
-        self.config = config.replace(cache=False, cache_dir=None)
+        self.config = config.replace(
+            cache=False, cache_dir=None, cache_url=None
+        )
         self._sessions: Dict[CheckConfig, CheckSession] = {}
         #: (epsilon, overrides) -> (config, session): one small-tuple
         #: hash on the hot path instead of re-hashing the full frozen
@@ -265,7 +276,14 @@ class Engine:
             )
         if self.cache is None:
             return config
-        return config.replace(cache=True, cache_dir=self.cache_dir)
+        return config.replace(
+            cache=True,
+            cache_dir=self.cache_dir,
+            # "" pins workers to force-local resolution: pool workers
+            # must re-open the remote tier (shared warmth), not consult
+            # a different environment than the engine did
+            cache_url=self.cache_url or "",
+        )
 
     def fingerprint(self, request: CheckRequest) -> str:
         """The request's content fingerprint — its result-cache key.
@@ -618,11 +636,20 @@ class Engine:
             pool, self._pool = self._pool, None
             jobs = list(self._jobs_pending.values())
             self._jobs_pending.clear()
+            sessions = list(self._sessions.values())
         for _, (kind, payload), _ in jobs:
             if kind == "future":
                 payload.cancel()
         if pool is not None:
             pool.shutdown()
+        # release cluster connections (worker fleets, the remote cache
+        # tier); sessions stay usable and re-dial lazily if used again
+        for session in sessions:
+            session.close()
+        if self.cache is not None:
+            remote = self.cache.remote
+            if remote is not None:
+                remote.close()
 
     def __enter__(self) -> "Engine":
         return self

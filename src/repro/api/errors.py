@@ -190,6 +190,26 @@ class OverloadedError(ReproError):
     code = "overloaded"
 
 
+class RemoteUnavailableError(ReproError):
+    """A cluster peer (cache server, worker) that cannot be reached.
+
+    Only administrative fail-closed paths raise this (``repro cache
+    stats --cache-url`` against a dead server); the checking paths are
+    fail-open by contract and degrade to recompute/local instead."""
+
+    code = "remote_unavailable"
+
+
+class WorkerLostError(RemoteUnavailableError):
+    """A ``repro worker`` that died or went silent mid-chunk.
+
+    Internal to :class:`~repro.cluster.executor.RemoteSliceExecutor`'s
+    re-dispatch loop in normal operation; surfaces only when local
+    fallback is disabled and the whole pool is gone."""
+
+    code = "worker_lost"
+
+
 #: code -> class, for every concrete member of the taxonomy.
 ERROR_CODES: Dict[str, Type[ReproError]] = {
     cls.code: cls
@@ -206,6 +226,8 @@ ERROR_CODES: Dict[str, Type[ReproError]] = {
         JobNotFoundError,
         DeadlineExceededError,
         OverloadedError,
+        RemoteUnavailableError,
+        WorkerLostError,
     )
 }
 

@@ -93,9 +93,13 @@ LIBRARY = {
 RANDOM_LIBRARY = ("quantum_volume", "randomized_benchmarking")
 
 #: CheckConfig fields a request may override.  ``epsilon`` is a
-#: top-level request field, and the cache knobs belong to the Engine
-#: (one shared cache per engine, not per request).
-_ENGINE_OWNED_CONFIG = ("epsilon", "cache", "cache_dir")
+#: top-level request field, the cache knobs belong to the Engine (one
+#: shared cache per engine, not per request), and the cluster topology
+#: knobs are deployment configuration — a wire request must never be
+#: able to point computation or cache traffic at an attacker's host.
+_ENGINE_OWNED_CONFIG = (
+    "epsilon", "cache", "cache_dir", "cache_url", "workers"
+)
 CONFIG_OVERRIDE_FIELDS = tuple(
     f.name
     for f in dataclasses.fields(CheckConfig)
@@ -428,7 +432,7 @@ class CheckRequest:
             if any(key in _ENGINE_OWNED_CONFIG for key in bad):
                 hint = (
                     "; 'epsilon' is a top-level request field and the "
-                    "cache knobs are Engine-owned"
+                    "cache/cluster knobs are Engine-owned"
                 )
             raise InvalidRequestError(
                 f"unknown config override{'s' if len(bad) > 1 else ''} "

@@ -51,20 +51,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 def _coerce_plan_cache(
-    plan_cache: Union[None, PlanCache, str, os.PathLike]
+    plan_cache: Union[None, PlanCache, str, os.PathLike, tuple]
 ) -> Optional[PlanCache]:
-    """Accept a ready :class:`PlanCache` or a disk-cache directory.
+    """Accept a ready :class:`PlanCache` or its rebuild recipe.
 
-    The directory form is what travels inside :meth:`describe` specs to
-    worker processes: each worker re-opens the standard two-tier cache
-    against the shared directory.
+    The recipe forms are what travel inside :meth:`describe` specs to
+    worker processes: a bare directory re-opens the standard two-tier
+    cache there; a ``(directory, cache_url)`` pair additionally appends
+    the remote tier (see :attr:`repro.cache.PlanCache.spec`), so a
+    worker fleet shares the same cache server as its dispatcher.
     """
     if plan_cache is None or isinstance(plan_cache, PlanCache):
         return plan_cache
     if isinstance(plan_cache, (str, os.PathLike)):
         return open_cache(plan_cache).plans
+    if isinstance(plan_cache, (tuple, list)) and len(plan_cache) == 2:
+        directory, cache_url = plan_cache
+        return open_cache(directory, cache_url=cache_url).plans
     raise TypeError(
-        "plan_cache must be a PlanCache, a cache directory path or None, "
+        "plan_cache must be a PlanCache, a cache directory path, a "
+        "(directory, cache_url) pair or None, "
         f"got {type(plan_cache)!r}"
     )
 
@@ -455,12 +461,16 @@ class ContractionBackend(abc.ABC):
         Deliberately excludes ``executor``: the spec doubles as the
         picklable recipe worker processes rebuild backends from, and a
         worker-side backend must run its slices inline.  The plan cache
-        travels as its *directory* (``None`` for uncached or
-        memory-only backends), so every worker re-opens the shared disk
-        tier and the pool warms itself.
+        travels as its rebuild recipe — the *directory* (``None`` for
+        uncached or memory-only backends), or a ``(directory,
+        cache_url)`` pair when a remote tier is attached — so every
+        worker re-opens the shared tiers and the pool warms itself.
         """
         plan_cache = (
-            None if self.plan_cache is None else self.plan_cache.directory
+            None if self.plan_cache is None
+            else getattr(
+                self.plan_cache, "spec", self.plan_cache.directory
+            )
         )
         return {
             "name": self.name,

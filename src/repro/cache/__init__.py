@@ -86,24 +86,49 @@ class CheckCache:
         self.store = store
         self.plans = PlanCache(store)
         self.results = ResultCache(store)
+        #: remote tier address this cache was opened with (None = local)
+        self.cache_url: Optional[str] = None
 
     @classmethod
     def open(
         cls,
         cache_dir: Optional[os.PathLike] = None,
         memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        cache_url: Optional[str] = None,
     ) -> "CheckCache":
-        """The standard two-tier cache: LRU memory in front of disk.
+        """The standard tiered cache: LRU memory → disk (→ remote).
 
         ``cache_dir`` defaults to ``$REPRO_CACHE_DIR`` or
-        ``~/.cache/repro`` (resolved at open time).
+        ``~/.cache/repro`` (resolved at open time).  ``cache_url``
+        appends a :class:`~repro.cluster.store.RemoteStore` tier
+        pointing at a ``repro cache-server`` — ``None`` consults
+        ``$REPRO_CACHE_URL``, empty disables.  The remote tier is
+        strictly fail-open: with the server unreachable the chain
+        behaves exactly like the local two-tier cache.
         """
-        return cls(
-            TieredStore([
-                MemoryStore(max_entries=memory_entries),
-                DiskStore(cache_dir),
-            ])
-        )
+        # Lazy import: repro.cluster imports this package's submodules,
+        # so a module-level import here would be a cycle.
+        from ..cluster.store import RemoteStore, resolve_cache_url
+
+        resolved = resolve_cache_url(cache_url)
+        tiers = [
+            MemoryStore(max_entries=memory_entries),
+            DiskStore(cache_dir),
+        ]
+        if resolved is not None:
+            tiers.append(RemoteStore(resolved))
+        cache = cls(TieredStore(tiers))
+        cache.cache_url = resolved
+        cache.plans.cache_url = resolved
+        return cache
+
+    @property
+    def remote(self):
+        """The :class:`~repro.cluster.store.RemoteStore` tier, if any."""
+        for tier in getattr(self.store, "tiers", []):
+            if tier.__class__.__name__ == "RemoteStore":
+                return tier
+        return None
 
     @property
     def directory(self) -> Optional[str]:
@@ -126,6 +151,9 @@ class CheckCache:
 def open_cache(
     cache_dir: Optional[os.PathLike] = None,
     memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+    cache_url: Optional[str] = None,
 ) -> CheckCache:
     """Module-level alias of :meth:`CheckCache.open`."""
-    return CheckCache.open(cache_dir, memory_entries=memory_entries)
+    return CheckCache.open(
+        cache_dir, memory_entries=memory_entries, cache_url=cache_url
+    )

@@ -123,6 +123,10 @@ def config_fingerprint(config) -> str:
     # tracing observes a run without changing its verdict, and traced /
     # untraced requests must share result-cache entries
     record.pop("trace", None)
+    # cluster topology changes where work runs and where entries live,
+    # never the verdict — every fleet shape shares one cache key space
+    record.pop("cache_url", None)
+    record.pop("workers", None)
     digest = _new_hash("config")
     digest.update(json.dumps(record, sort_keys=True, default=str).encode())
     return digest.hexdigest()

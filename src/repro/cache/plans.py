@@ -50,11 +50,27 @@ class PlanCache:
         #: adapter-level lookup counters (object memo + store combined)
         self.hits = 0
         self.misses = 0
+        #: remote tier address this cache was opened with (set by
+        #: :meth:`repro.cache.CheckCache.open`); travels in backend
+        #: specs so worker processes rebuild the same tier chain
+        self.cache_url: Optional[str] = None
 
     @property
     def directory(self) -> Optional[str]:
         """The backing store's persistent location, if any."""
         return self.store.directory
+
+    @property
+    def spec(self):
+        """The picklable, hashable rebuild recipe for worker specs.
+
+        The bare directory when the cache is local (the historical
+        form), else a ``(directory, cache_url)`` pair — both accepted
+        by :func:`repro.backends.base._coerce_plan_cache`.
+        """
+        if self.cache_url is None:
+            return self.directory
+        return (self.directory, self.cache_url)
 
     def key_for(
         self,

@@ -47,16 +47,25 @@ Commands
 ``cache``
     Inspect and manage the content-addressed disk cache that ``check``,
     ``batch`` and ``plan`` fill when run with ``--cache``:
-    ``cache stats`` (entries by kind, bytes, location), ``cache clear``
-    and ``cache prune --max-bytes N`` (evict oldest entries down to a
-    byte budget).  The directory is ``--cache-dir``,
+    ``cache stats`` (entries by kind, bytes, location, per-tier
+    breakdown; ``--cache-url`` adds the shared remote tier),
+    ``cache clear`` and ``cache prune --max-bytes N`` (evict oldest
+    entries down to a byte budget).  The directory is ``--cache-dir``,
     ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``, in that order.
+``cache-server``
+    Run the shared remote cache daemon other machines' checks reach via
+    ``--cache-url`` / ``$REPRO_CACHE_URL``.  See ``docs/cluster.md``.
+``worker``
+    Run one remote slice-execution daemon; point checks at a pool of
+    them with ``--workers`` / ``$REPRO_WORKERS``.  See
+    ``docs/cluster.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from collections import namedtuple
@@ -97,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_args(check)
     _add_cache_args(check)
+    _add_workers_arg(check)
     check.add_argument(
         "--json", action="store_true",
         help="emit the full result as one JSON object",
@@ -135,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_args(batch)
     _add_cache_args(batch)
+    _add_workers_arg(batch)
     batch.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="run checks in N worker processes (results keep manifest "
@@ -200,6 +211,53 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 1 = in-process)",
     )
     _add_cache_args(serve)
+    _add_workers_arg(serve)
+
+    cache_server = sub.add_parser(
+        "cache-server",
+        help="run the shared remote cache daemon (RemoteStore tier; see "
+        "docs/cluster.md)",
+    )
+    cache_server.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: loopback only — the protocol "
+        "is unauthenticated; see docs/cluster.md)",
+    )
+    cache_server.add_argument(
+        "--port", type=int, default=0,
+        help="port to bind (default 0 picks an ephemeral port, printed "
+        "in the JSON ready line)",
+    )
+    cache_server.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="backing disk tier (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    cache_server.add_argument(
+        "--memory-entries", type=int, default=None, metavar="N",
+        help="size of the in-memory LRU tier in front of the disk store",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="run one remote slice-execution daemon (RemoteSliceExecutor "
+        "target; see docs/cluster.md)",
+    )
+    worker.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: loopback only — EXEC payloads "
+        "are unpickled; never expose a worker to untrusted networks)",
+    )
+    worker.add_argument(
+        "--port", type=int, default=0,
+        help="port to bind (default 0 picks an ephemeral port, printed "
+        "in the JSON ready line)",
+    )
+    worker.add_argument(
+        "--heartbeat-interval", type=float, default=None,
+        metavar="SECONDS",
+        help="seconds between liveness heartbeats while a chunk computes",
+    )
 
     backends = sub.add_parser(
         "backends",
@@ -235,6 +293,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-dir", default=None, metavar="DIR",
             help="cache directory (default: $REPRO_CACHE_DIR or "
             "~/.cache/repro)",
+        )
+        cache_command.add_argument(
+            "--cache-url", default=None, metavar="HOST:PORT",
+            help="also inspect/manage this `repro cache-server`'s tier "
+            "(admin path: an unreachable server is an error here, not "
+            "fail-open)",
         )
 
     return parser
@@ -326,6 +390,21 @@ def _add_cache_args(sub: argparse.ArgumentParser) -> None:
         help="cache directory (default: $REPRO_CACHE_DIR or "
         "~/.cache/repro)",
     )
+    sub.add_argument(
+        "--cache-url", default=None, metavar="HOST:PORT",
+        help="shared remote cache tier (a `repro cache-server` address); "
+        "implies --cache.  Default: $REPRO_CACHE_URL when --cache is on. "
+        "The tier is fail-open — an unreachable server degrades to the "
+        "local cache, never to an error",
+    )
+
+
+def _add_workers_arg(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--workers", default=None, metavar="HOST:PORT[,HOST:PORT...]",
+        help="ship slice execution to remote `repro worker` daemons "
+        "(default: $REPRO_WORKERS; unset runs slices locally)",
+    )
 
 
 def _noise_spec_from(args) -> Optional[NoiseSpec]:
@@ -392,10 +471,22 @@ def _request_from(args, ideal, noisy=None, mode="check") -> CheckRequest:
 
 
 def _engine_from(args, jobs: int = 1) -> Engine:
+    cache_url = getattr(args, "cache_url", None)
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        # the CLI (not the library) is where $REPRO_WORKERS applies, so
+        # plain API/test use never dials remote daemons implicitly
+        from .cluster import WORKERS_ENV
+
+        workers = os.environ.get(WORKERS_ENV) or None
+    overrides = {"workers": workers} if workers else {}
     return Engine(
         jobs=jobs,
-        cache=getattr(args, "cache", False),
+        # an explicit remote tier implies caching on
+        cache=getattr(args, "cache", False) or bool(cache_url),
         cache_dir=getattr(args, "cache_dir", None),
+        cache_url=cache_url,
+        **overrides,
     )
 
 
@@ -608,42 +699,146 @@ def cmd_backends(args) -> int:
     return 0
 
 
+def _cache_stats(args, store, remote) -> int:
+    stats = store.stats()
+    kinds = count_by_kind(store.keys())
+    # Per-tier breakdown: the local disk tier plus (when --cache-url is
+    # given) the shared remote tier, each in CacheStats wire form.  The
+    # raw server record rides along as "remote" so operators see the
+    # server's own hit/miss/request counters, not just this client's.
+    tiers = [stats] + ([] if remote is None else [remote.stats()])
+    server = remote.server_stats() if remote is not None else None
+    if args.json:
+        record = stats.to_dict()
+        record["kinds"] = kinds
+        record["tiers"] = [tier.to_dict() for tier in tiers]
+        if server is not None:
+            record["remote"] = server
+        print(json.dumps(record))
+        return 0
+    print(f"directory : {stats.directory}")
+    print(
+        f"entries   : {stats.entries} "
+        f"({kinds['plans']} plans, {kinds['results']} results"
+        + (f", {kinds['other']} other" if kinds["other"] else "")
+        + ")"
+    )
+    print(f"bytes     : {stats.total_bytes}")
+    if server is not None:
+        remote_stats = server.get("stats", {})
+        requests = server.get("requests", {})
+        print(
+            f"remote    : {args.cache_url} — "
+            f"{remote_stats.get('entries', 0)} entries, "
+            f"{remote_stats.get('total_bytes', 0)} bytes, "
+            f"{remote_stats.get('hits', 0)} hits, "
+            f"{remote_stats.get('misses', 0)} misses"
+        )
+        if requests:
+            print(
+                "requests  : " + ", ".join(
+                    f"{name} {count}"
+                    for name, count in sorted(requests.items())
+                )
+            )
+    return 0
+
+
 def cmd_cache(args) -> int:
     store = DiskStore(args.cache_dir)
-    if args.cache_command == "stats":
-        stats = store.stats()
-        kinds = count_by_kind(store.keys())
-        if args.json:
-            record = stats.to_dict()
-            record["kinds"] = kinds
-            print(json.dumps(record))
+    remote = None
+    if getattr(args, "cache_url", None):
+        # Admin commands want the truth: an unreachable server is a
+        # typed error here, not the checker's silent fail-open fallback.
+        from .cluster import RemoteStore
+
+        remote = RemoteStore(args.cache_url, fail_open=False)
+    try:
+        if args.cache_command == "stats":
+            return _cache_stats(args, store, remote)
+        if args.cache_command == "clear":
+            removed = store.clear()
+            remote_note = ""
+            if remote is not None:
+                remote_note = (
+                    f" and {remote.clear()} entries from {args.cache_url}"
+                )
+            print(
+                f"removed {removed} entries from {store.directory}"
+                + remote_note
+            )
             return 0
-        print(f"directory : {stats.directory}")
-        print(
-            f"entries   : {stats.entries} "
-            f"({kinds['plans']} plans, {kinds['results']} results"
-            + (f", {kinds['other']} other" if kinds["other"] else "")
-            + ")"
-        )
-        print(f"bytes     : {stats.total_bytes}")
-        return 0
-    if args.cache_command == "clear":
-        removed = store.clear()
-        print(f"removed {removed} entries from {store.directory}")
-        return 0
-    if args.cache_command == "prune":
-        if args.max_bytes < 0:
-            print("--max-bytes must be non-negative", file=sys.stderr)
-            return 2
-        removed = store.prune(args.max_bytes)
-        remaining = store.stats()
-        print(
-            f"pruned {removed} entries from {store.directory}; "
-            f"{remaining.entries} entries / {remaining.total_bytes} bytes "
-            "remain"
-        )
-        return 0
-    raise AssertionError("unreachable")
+        if args.cache_command == "prune":
+            if args.max_bytes < 0:
+                print("--max-bytes must be non-negative", file=sys.stderr)
+                return 2
+            removed = store.prune(args.max_bytes)
+            remaining = store.stats()
+            print(
+                f"pruned {removed} entries from {store.directory}; "
+                f"{remaining.entries} entries / {remaining.total_bytes} "
+                "bytes remain"
+            )
+            if remote is not None:
+                removed = remote.prune(args.max_bytes)
+                remaining = remote.stats()
+                print(
+                    f"pruned {removed} entries from {args.cache_url}; "
+                    f"{remaining.entries} entries / "
+                    f"{remaining.total_bytes} bytes remain"
+                )
+            return 0
+        raise AssertionError("unreachable")
+    except ReproError as exc:
+        return _print_error(exc)
+    finally:
+        if remote is not None:
+            remote.close()
+
+
+def cmd_cache_server(args) -> int:
+    import asyncio
+
+    from .cluster import serve_cache
+
+    if args.memory_entries is not None and args.memory_entries < 1:
+        print("--memory-entries must be at least 1", file=sys.stderr)
+        return 2
+    kwargs = {"cache_dir": args.cache_dir}
+    if args.memory_entries is not None:
+        kwargs["memory_entries"] = args.memory_entries
+    try:
+        asyncio.run(serve_cache(host=args.host, port=args.port, **kwargs))
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:  # port in use, privileged bind, ...
+        print(f"error [serve_failed]: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_worker(args) -> int:
+    import asyncio
+
+    from .cluster import EXIT_AFTER_ENV, serve_worker
+
+    if args.heartbeat_interval is not None and args.heartbeat_interval <= 0:
+        print("--heartbeat-interval must be positive", file=sys.stderr)
+        return 2
+    fail_after = os.environ.get(EXIT_AFTER_ENV)
+    kwargs = {}
+    if args.heartbeat_interval is not None:
+        kwargs["heartbeat_interval"] = args.heartbeat_interval
+    if fail_after:
+        kwargs["fail_after_chunks"] = int(fail_after)
+    try:
+        asyncio.run(serve_worker(host=args.host, port=args.port, **kwargs))
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:  # port in use, privileged bind, ...
+        print(f"error [serve_failed]: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def cmd_serve(args) -> int:
@@ -753,6 +948,10 @@ def cmd_batch(args) -> int:
 
 def _run_batch(args, engine: Engine) -> int:
     start = time.perf_counter()
+    if engine.cache_url is not None:
+        from .cluster import metrics as cluster_metrics
+
+        remote_before = cluster_metrics.counters_snapshot()
     rows = list(iter_manifest(args.manifest))  # row metadata only
 
     totals = {"checked": 0, "equivalent": 0, "errors": 0}
@@ -847,11 +1046,21 @@ def _run_batch(args, engine: Engine) -> int:
     wall = time.perf_counter() - start
     snapshot = aggregate.snapshot()
     cache_note = ""
-    if args.cache:
+    if engine.cache is not None:
         cache_note = (
             f", plan hits {int(snapshot['plan_cache_hits'])}, "
             f"result hits {int(snapshot['result_cache_hits'])}"
         )
+        if engine.cache_url is not None:
+            # process-wide cluster counters; the delta over this batch
+            from .cluster import metrics as cluster_metrics
+
+            after = cluster_metrics.counters_snapshot()
+            remote_hits = (
+                after["remote_cache_hits"]
+                - remote_before["remote_cache_hits"]
+            )
+            cache_note += f", remote hits {remote_hits}"
     print(
         f"batch: {len(rows)} rows, {totals['checked']} checked, "
         f"{totals['equivalent']} equivalent, "
@@ -877,6 +1086,10 @@ def main(argv=None) -> int:
         return cmd_plan(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "cache-server":
+        return cmd_cache_server(args)
+    if args.command == "worker":
+        return cmd_worker(args)
     if args.command == "cache":
         return cmd_cache(args)
     if args.command == "backends":

@@ -1,0 +1,67 @@
+"""Process-wide cluster counters behind ``repro_remote_*`` metrics.
+
+The remote cache tier and the remote slice executor are fail-open by
+design: a dead peer degrades to a recompute instead of an error, which
+means *observability is the only way to notice*.  These module-global
+counters are the noticing: every remote hit, miss, put, fault,
+dispatched chunk, re-dispatch and local-fallback chunk lands here, the
+service's ``/metrics`` endpoint renders them as
+``repro_remote_*_total`` counters, and the batch CLI's stderr summary
+reads the same numbers for its ``remote hits`` field.
+
+Module-global on purpose (like the per-worker caches of
+:mod:`repro.parallel.worker`): remote stores and executors are created
+per session, but a fleet operator needs one cumulative answer per
+process.  Stdlib-only — importable by the service layer without
+dragging the socket machinery in.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+#: Counter names, in render order.  Keys map to metric names as
+#: ``repro_<key>_total``.
+COUNTER_NAMES = (
+    "remote_cache_hits",
+    "remote_cache_misses",
+    "remote_cache_puts",
+    "remote_failures",
+    "remote_chunks",
+    "remote_redispatches",
+    "remote_workers_lost",
+    "remote_fallback_chunks",
+)
+
+_lock = threading.Lock()
+_counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+
+
+def increment(name: str, amount: int = 1) -> None:
+    """Add to one cluster counter (thread-safe)."""
+    if name not in _counters:
+        raise KeyError(f"unknown cluster counter {name!r}")
+    with _lock:
+        _counters[name] += amount
+
+
+def counters_snapshot() -> Dict[str, int]:
+    """A consistent copy of every counter."""
+    with _lock:
+        return dict(_counters)
+
+
+def metric_counters() -> Dict[str, float]:
+    """The snapshot under Prometheus metric names (``repro_*_total``)."""
+    return {
+        f"repro_{name}_total": float(value)
+        for name, value in counters_snapshot().items()
+    }
+
+
+def reset_counters() -> None:
+    """Zero every counter (test hook)."""
+    with _lock:
+        for name in _counters:
+            _counters[name] = 0

@@ -1,0 +1,272 @@
+""":class:`RemoteStore` — the shared remote cache tier, as a client.
+
+A :class:`~repro.cache.store.CacheStore` whose entries live in a
+``repro cache-server`` daemon, so a fleet of service replicas shares
+one warm plan/result tier instead of per-host disk caches.  Compose it
+behind the local tiers with the existing
+:class:`~repro.cache.store.TieredStore` — the standard chain a
+``cache_url`` configures is memory → disk → remote, with remote hits
+promoted into both local tiers on the way back.
+
+Failure philosophy, inherited from the store protocol and enforced
+harder here because the network *will* fail: every remote fault —
+refused connect, timeout, server restart, truncated or garbage frame —
+makes ``get`` return ``None`` and ``put`` return silently, after a
+bounded retry.  The socket is closed and lazily re-dialled on the next
+call, so a server restart heals without any client lifecycle work.  A
+cache must never crash a check; the worst a dead cache server can do
+is local-cache-speed recompute, and every swallowed fault increments
+``repro_remote_failures_total`` so operators still see it.
+
+``fail_open=False`` flips the administrative contract: ``stats`` and
+``prune`` (the ``repro cache stats --cache-url`` path) raise a typed
+:class:`~repro.api.errors.RemoteUnavailableError` instead of inventing
+zeros — an operator asking a dead server a question deserves the truth.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Optional
+
+from .. import trace as _trace
+from ..cache.store import CacheStats, CacheStore
+from . import metrics as _metrics
+from .protocol import (
+    OP_GET,
+    OP_HIT,
+    OP_JSON,
+    OP_MISS,
+    OP_OK,
+    OP_PING,
+    OP_PONG,
+    OP_PRUNE,
+    OP_PUT,
+    OP_STATS,
+    ProtocolError,
+    connect,
+    pack_kv,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+#: Environment variable naming the shared cache server (``host:port``).
+#: Read at cache-open time, like ``REPRO_CACHE_DIR`` — deployments
+#: point a whole fleet at one server without touching configuration.
+CACHE_URL_ENV = "REPRO_CACHE_URL"
+
+#: Default TCP connect timeout (seconds).
+DEFAULT_CONNECT_TIMEOUT = 1.0
+
+#: Default per-operation read/write timeout (seconds).
+DEFAULT_TIMEOUT = 5.0
+
+#: Default retry count after the first failed attempt.
+DEFAULT_RETRIES = 1
+
+#: Base backoff between retries (seconds); doubles per attempt.
+DEFAULT_BACKOFF = 0.05
+
+
+def resolve_cache_url(cache_url: Optional[str] = None) -> Optional[str]:
+    """The effective remote-cache address: explicit value or the env.
+
+    ``None`` consults ``$REPRO_CACHE_URL``; an empty string (either
+    source) means "no remote tier" and resolves to ``None``.
+    """
+    import os
+
+    if cache_url is None:
+        cache_url = os.environ.get(CACHE_URL_ENV)
+    if not cache_url or not cache_url.strip():
+        return None
+    return cache_url.strip()
+
+
+class RemoteStore(CacheStore):
+    """Byte store speaking the cluster protocol to a cache server.
+
+    Parameters
+    ----------
+    url:
+        ``"host:port"`` of a ``repro cache-server`` daemon.
+    connect_timeout / timeout:
+        TCP dial bound and per-operation read/write bound (seconds).
+    retries:
+        Additional attempts after a failed operation; each re-dials
+        the connection (the common fault *is* a stale socket after a
+        server restart).
+    backoff:
+        Sleep before retry ``n`` is ``backoff * 2**n`` seconds — enough
+        to ride out a restart, bounded enough never to stall a check.
+    fail_open:
+        ``True`` (the default, and the posture every checking path
+        uses): faults degrade to miss/no-op.  ``False``: faults raise
+        :class:`~repro.api.errors.RemoteUnavailableError` — for
+        administrative commands that must not lie.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+        timeout: float = DEFAULT_TIMEOUT,
+        retries: int = DEFAULT_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        fail_open: bool = True,
+    ):
+        if connect_timeout <= 0 or timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if backoff < 0:
+            raise ValueError("backoff must be non-negative")
+        self.url = url
+        self.host, self.port = parse_address(url)
+        self.connect_timeout = connect_timeout
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.fail_open = fail_open
+        self._sock = None
+        #: one lock serialises the request/reply conversation; sessions
+        #: and service threads share one store object per cache
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._failures = 0
+
+    # --- connection management ----------------------------------------------
+
+    def _connection(self):
+        if self._sock is None:
+            sock = connect(self.host, self.port, self.connect_timeout)
+            sock.settimeout(self.timeout)
+            self._sock = sock
+        return self._sock
+
+    def _drop_connection(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close never matters
+                pass
+
+    def close(self) -> None:
+        """Close the connection (idempotent; next call re-dials)."""
+        with self._lock:
+            self._drop_connection()
+
+    def _roundtrip(self, op: int, payload: bytes):
+        """One request/reply exchange with bounded retry.
+
+        Returns ``(opcode, payload)`` or ``None`` after every attempt
+        failed (fail-open) — or raises the typed error (fail-closed).
+        Every failed *attempt* drops the socket, so retries and later
+        calls start from a fresh dial.
+        """
+        with self._lock:
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    time.sleep(self.backoff * (2 ** (attempt - 1)))
+                try:
+                    sock = self._connection()
+                    send_frame(sock, op, payload)
+                    return recv_frame(sock)
+                except (OSError, ProtocolError) as exc:
+                    self._drop_connection()
+                    failure = exc
+            self._failures += 1
+            _metrics.increment("remote_failures")
+            if self.fail_open:
+                return None
+            from ..api.errors import RemoteUnavailableError
+
+            raise RemoteUnavailableError(
+                f"cache server {self.url} unavailable: {failure}",
+                error_type=type(failure).__name__,
+                details={"url": self.url},
+            ) from failure
+
+    # --- CacheStore protocol -------------------------------------------------
+
+    def get(self, key: str) -> Optional[bytes]:
+        with _trace.span("cache.remote.get") as span:
+            reply = self._roundtrip(OP_GET, key.encode())
+            if reply is not None and reply[0] == OP_HIT:
+                self._hits += 1
+                _metrics.increment("remote_cache_hits")
+                span.set(hit=True)
+                return reply[1]
+            # an unexpected opcode (a confused server) counts with the
+            # misses: the caller recomputes either way
+            self._misses += 1
+            _metrics.increment("remote_cache_misses")
+            span.set(hit=False)
+            return None
+
+    def put(self, key: str, payload: bytes) -> None:
+        with _trace.span("cache.remote.put"):
+            reply = self._roundtrip(OP_PUT, pack_kv(key, payload))
+            if reply is not None and reply[0] == OP_OK:
+                _metrics.increment("remote_cache_puts")
+
+    def _json_command(self, op: int, payload: bytes) -> Optional[dict]:
+        reply = self._roundtrip(op, payload)
+        if reply is None:
+            return None
+        opcode, body = reply
+        if opcode != OP_JSON:
+            return None
+        try:
+            return json.loads(body.decode())
+        except (ValueError, UnicodeDecodeError):
+            return None
+
+    def stats(self) -> CacheStats:
+        record = self._json_command(OP_STATS, b"")
+        remote = (record or {}).get("stats", {})
+        return CacheStats(
+            store="remote",
+            entries=int(remote.get("entries", 0)),
+            total_bytes=int(remote.get("total_bytes", 0)),
+            # this client's lookup counters, not the server's: a tier's
+            # hits/misses describe *our* traffic, like every other tier
+            hits=self._hits,
+            misses=self._misses,
+            directory=self.url,
+        )
+
+    def server_stats(self) -> Optional[dict]:
+        """The server's own stats record (its store + request counters),
+        or ``None`` when it cannot be reached (fail-open only)."""
+        return self._json_command(OP_STATS, b"")
+
+    def clear(self) -> int:
+        record = self._json_command(OP_PRUNE, (0).to_bytes(8, "big"))
+        return int((record or {}).get("removed", 0))
+
+    def prune(self, max_bytes: int) -> int:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        record = self._json_command(
+            OP_PRUNE, max_bytes.to_bytes(8, "big")
+        )
+        return int((record or {}).get("removed", 0))
+
+    def ping(self) -> bool:
+        """Whether the server answers a liveness probe right now."""
+        reply = self._roundtrip(OP_PING, b"")
+        return reply is not None and reply[0] == OP_PONG
+
+    @property
+    def directory(self) -> Optional[str]:
+        """Remote tiers have no local directory."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RemoteStore({self.url!r}, fail_open={self.fail_open})"

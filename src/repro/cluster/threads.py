@@ -1,0 +1,85 @@
+""":class:`ServerThread` — a cluster daemon on a background thread.
+
+The cluster sibling of :class:`~repro.service.server.ServiceThread`:
+wraps a :class:`~repro.cluster.cache_server.CacheServer` or
+:class:`~repro.cluster.worker_server.WorkerServer` in its own event
+loop on a daemon thread, so tests, benchmarks and examples can stand up
+a simulated fleet in-process — no subprocess management, deterministic
+teardown.
+
+>>> with ServerThread(CacheServer(port=0)) as handle:  # doctest: +SKIP
+...     store = RemoteStore(handle.url)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+
+class ServerThread:
+    """Run one cluster server (cache or worker) on a background loop.
+
+    Context manager: entering starts the loop thread and blocks until
+    the socket is bound (re-raising any bind failure); exiting requests
+    a graceful shutdown and joins.  ``port`` resolves ephemeral
+    (``port=0``) binds; ``url`` is the ``host:port`` clients dial.
+    """
+
+    def __init__(self, server):
+        self.server = server
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._main, name="repro-cluster-loop", daemon=True
+        )
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def url(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def _main(self) -> None:
+        async def body():
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            await self.server.wait_closed()
+
+        try:
+            asyncio.run(body())
+        except BaseException:  # surfaced via _startup_error
+            if not self._ready.is_set():  # pragma: no cover - defensive
+                self._ready.set()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"{type(self.server).__name__} failed to start"
+            ) from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            self.server.request_shutdown()
+            self._thread.join()
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

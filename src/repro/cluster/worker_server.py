@@ -1,0 +1,293 @@
+"""``repro worker`` — one remote slice-execution daemon.
+
+A worker owns the same per-process warm state a
+:class:`~concurrent.futures.ProcessPoolExecutor` worker does — cached
+backend instances and a digest-keyed ``(network, plan)`` payload — and
+exposes it over cluster frames instead of pipe-based IPC:
+
+``PING``
+    liveness probe → ``PONG``.
+``INSTALL``
+    ``digest`` + pickled ``(network, plan)`` blob (``pack_kv`` body) →
+    ``OK``.  Ships once per contraction per worker; every subsequent
+    chunk of that contraction names only the digest.
+``EXEC``
+    pickled ``(spec, digest, assignments, trace_spans)`` → ``RESULT``
+    (pickled ``(value, stats)``), after ``HEARTBEAT`` frames every
+    ``heartbeat_interval`` seconds while the chunk computes.  Naming a
+    digest this worker has never seen → ``NEED_BLOB``, telling the
+    dispatcher to ``INSTALL`` and retry.  A failing contraction →
+    ``ERR`` with the message; the dispatcher decides whether that is a
+    lost worker or a poisoned chunk.
+
+Chunks execute on a single-thread pool (a worker is one core's worth of
+compute — run several daemons for more), with the asyncio loop free to
+tick heartbeats, so a dispatcher can tell "slow chunk, alive worker"
+from "dead worker" without guessing.
+
+``EXEC``/``INSTALL`` payloads are unpickled, which is remote code
+execution by design — identical to the trust model of the process pool
+it mirrors.  Bind workers to loopback or a private network only; see
+``docs/cluster.md``.
+
+``fail_after_chunks`` hard-exits the process the moment the N+1-th
+``EXEC`` arrives — the deterministic "worker dies mid-batch" every
+re-dispatch test needs, instead of a timing-dependent kill.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pickle
+import signal
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional
+
+from ..parallel.worker import run_slice_chunk_blob
+from .protocol import (
+    OP_ERR,
+    OP_EXEC,
+    OP_HEARTBEAT,
+    OP_INSTALL,
+    OP_NAMES,
+    OP_NEED_BLOB,
+    OP_OK,
+    OP_PING,
+    OP_PONG,
+    OP_RESULT,
+    ProtocolError,
+    read_frame_async,
+    unpack_kv,
+    write_frame_async,
+)
+
+#: Seconds between HEARTBEAT frames while a chunk computes.
+DEFAULT_HEARTBEAT_INTERVAL = 0.5
+
+#: Environment knob the CLI wires to ``fail_after_chunks`` — lets the
+#: simulated-fleet tests spawn a worker that deterministically dies
+#: before its N+1-th chunk.
+EXIT_AFTER_ENV = "REPRO_WORKER_EXIT_AFTER"
+
+
+class WorkerServer:
+    """One remote slice worker: warm caches behind an asyncio socket."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        fail_after_chunks: Optional[int] = None,
+        log_stream=None,
+    ):
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        self.host = host
+        self.config_port = port
+        self.heartbeat_interval = heartbeat_interval
+        self.fail_after_chunks = fail_after_chunks
+        self.log_stream = log_stream if log_stream is not None else sys.stderr
+        #: digest → pickled (network, plan) blob; single entry, like the
+        #: process-pool worker's payload cache — one contraction at a time
+        self._blobs: Dict[str, bytes] = {}
+        self.chunks_done = 0
+        self._compute = ThreadPoolExecutor(max_workers=1)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._port: Optional[int] = None
+        self._shutdown = asyncio.Event()
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` ephemeral binds)."""
+        if self._port is None:
+            raise RuntimeError("worker server is not started")
+        return self._port
+
+    def _log(self, record: dict) -> None:
+        print(json.dumps(record), file=self.log_stream, flush=True)
+
+    # --- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.config_port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        self._log({
+            "event": "ready",
+            "kind": "worker",
+            "host": self.host,
+            "port": self._port,
+            "pid": os.getpid(),
+        })
+
+    def request_shutdown(self) -> None:
+        """Begin shutdown (idempotent, signal-handler safe)."""
+        if self._loop is None:
+            return
+        self._loop.call_soon_threadsafe(self._shutdown.set)
+
+    async def wait_closed(self) -> None:
+        await self._shutdown.wait()
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        self._compute.shutdown(wait=False)
+        self._log({
+            "event": "shutdown",
+            "kind": "worker",
+            "chunks": self.chunks_done,
+        })
+
+    async def run(self) -> None:
+        """:meth:`start` + serve until :meth:`request_shutdown`."""
+        await self.start()
+        await self.wait_closed()
+
+    # --- request handling ----------------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    op, payload = await read_frame_async(reader)
+                except EOFError:
+                    return
+                except asyncio.CancelledError:
+                    return  # loop teardown with the connection still open
+                except ProtocolError as exc:
+                    try:
+                        await write_frame_async(
+                            writer, OP_ERR, str(exc).encode()
+                        )
+                    except (OSError, ConnectionError):
+                        pass
+                    return
+                try:
+                    await self._dispatch(writer, op, payload)
+                except (OSError, ConnectionError):
+                    return  # dispatcher went away mid-reply
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError, asyncio.CancelledError):
+                # CancelledError: loop teardown cancelled this handler
+                # while the connection was still open — the socket is
+                # closed either way, and re-raising would only print a
+                # traceback mid-shutdown
+                pass
+
+    async def _dispatch(
+        self, writer: asyncio.StreamWriter, op: int, payload: bytes
+    ) -> None:
+        if op == OP_PING:
+            await write_frame_async(writer, OP_PONG)
+            return
+        if op == OP_INSTALL:
+            try:
+                digest, blob = unpack_kv(payload)
+            except ProtocolError as exc:
+                await write_frame_async(writer, OP_ERR, str(exc).encode())
+                return
+            # one contraction at a time: the new payload replaces the old
+            self._blobs.clear()
+            self._blobs[digest] = blob
+            await write_frame_async(writer, OP_OK)
+            return
+        if op == OP_EXEC:
+            await self._exec_chunk(writer, payload)
+            return
+        name = OP_NAMES.get(op, hex(op))
+        await write_frame_async(
+            writer, OP_ERR,
+            f"worker does not speak opcode {name}".encode(),
+        )
+
+    async def _exec_chunk(
+        self, writer: asyncio.StreamWriter, payload: bytes
+    ) -> None:
+        try:
+            spec, digest, assignments, tracing = pickle.loads(payload)
+        except Exception as exc:
+            await write_frame_async(
+                writer, OP_ERR, f"undecodable exec request: {exc}".encode()
+            )
+            return
+        blob = self._blobs.get(digest)
+        if blob is None:
+            await write_frame_async(writer, OP_NEED_BLOB, digest.encode())
+            return
+        if (
+            self.fail_after_chunks is not None
+            and self.chunks_done >= self.fail_after_chunks
+        ):
+            # the deterministic mid-batch death the fleet tests script:
+            # drop the process on the floor, mid-conversation
+            self._log({
+                "event": "fail-injection-exit",
+                "kind": "worker",
+                "chunks": self.chunks_done,
+            })
+            os._exit(17)
+        future = asyncio.get_running_loop().run_in_executor(
+            self._compute,
+            run_slice_chunk_blob,
+            spec, digest, blob, assignments, tracing,
+        )
+        # heartbeat while the chunk computes, so the dispatcher can tell
+        # a slow chunk from a dead worker
+        while True:
+            done, _ = await asyncio.wait(
+                [future], timeout=self.heartbeat_interval
+            )
+            if done:
+                break
+            await write_frame_async(writer, OP_HEARTBEAT)
+        try:
+            value, stats = future.result()
+        except Exception as exc:
+            await write_frame_async(
+                writer, OP_ERR,
+                f"{type(exc).__name__}: {exc}".encode(),
+            )
+            return
+        self.chunks_done += 1
+        await write_frame_async(
+            writer, OP_RESULT,
+            pickle.dumps((value, stats), pickle.HIGHEST_PROTOCOL),
+        )
+
+
+async def serve_worker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    install_signal_handlers: bool = True,
+    **kwargs,
+) -> None:
+    """Run a :class:`WorkerServer` until ``SIGTERM``/``SIGINT``.
+
+    The blocking entry point behind ``repro worker``.
+    """
+    server = WorkerServer(host, port, **kwargs)
+    await server.start()
+    if install_signal_handlers:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+    await server.wait_closed()

@@ -95,6 +95,17 @@ class CheckConfig:
     #: disk-tier directory (None = $REPRO_CACHE_DIR or ~/.cache/repro);
     #: only consulted when ``cache`` is on
     cache_dir: Optional[str] = None
+    #: ``host:port`` of a shared ``repro cache-server`` appended as a
+    #: fail-open remote tier behind memory and disk (None = consult
+    #: $REPRO_CACHE_URL at open time, "" = force-local); only
+    #: consulted when ``cache`` is on
+    cache_url: Optional[str] = None
+    #: comma-separated ``host:port`` list of ``repro worker`` daemons;
+    #: sliced contractions fan out to the fleet through a
+    #: :class:`~repro.cluster.executor.RemoteSliceExecutor` (None =
+    #: execute locally — the library never reads $REPRO_WORKERS
+    #: implicitly; the CLI's ``--workers`` flag does)
+    workers: Optional[str] = None
     #: device the backend's numerics run on (None = backend default,
     #: i.e. the host CPU; 'cuda'/'cuda:N' need einsum-torch/einsum-cupy)
     device: Optional[str] = None
@@ -196,6 +207,30 @@ class CheckConfig:
                     )
         if self.alg1_max_noises < 0:
             raise ValueError("alg1_max_noises must be non-negative")
+        if self.cache_url is not None and self.cache_url.strip():
+            if not self.cache:
+                raise ValueError(
+                    "cache_url needs cache=True: the remote tier sits "
+                    "behind the local cache chain"
+                )
+            from ..cluster.protocol import parse_address
+
+            parse_address(self.cache_url)  # fail at config time, not mid-check
+        if self.workers is not None:
+            from ..cluster.executor import resolve_workers
+
+            if isinstance(self.backend, ContractionBackend):
+                raise ValueError(
+                    "workers is ignored when backend is an instance; "
+                    "attach a RemoteSliceExecutor to the backend instead"
+                )
+            addresses = resolve_workers(self.workers) or ()
+            # normalised comma-joined form keeps the frozen config
+            # hashable/picklable (worker session caches key on it);
+            # an all-whitespace spec normalises to "no fleet"
+            object.__setattr__(
+                self, "workers", ",".join(addresses) or None
+            )
         if self.cache_dir is not None and not isinstance(
             self.cache_dir, str
         ):
@@ -252,9 +287,14 @@ class CheckSession:
             config = config.replace(**overrides)
         self.config = config
         self._backend: Optional[ContractionBackend] = None
-        #: the two-tier plan + result cache (None when config.cache off)
+        self._executor = None
+        #: the tiered plan + result cache (None when config.cache off);
+        #: gains a fail-open remote tier when cache_url / the env names
+        #: a cache server
         self.cache: Optional[CheckCache] = (
-            CheckCache.open(config.cache_dir) if config.cache else None
+            CheckCache.open(config.cache_dir, cache_url=config.cache_url)
+            if config.cache
+            else None
         )
 
     @property
@@ -270,12 +310,17 @@ class CheckSession:
         """
         if self._backend is None:
             plan_cache = None if self.cache is None else self.cache.plans
+            if self.config.workers and self._executor is None:
+                from ..cluster.executor import RemoteSliceExecutor
+
+                self._executor = RemoteSliceExecutor(self.config.workers)
             self._backend = resolve_backend(
                 self.config.backend,
                 order_method=self.config.order_method,
                 share_intermediates=self.config.share_computed_table,
                 planner=self.config.planner,
                 max_intermediate_size=self.config.max_intermediate_size,
+                executor=self._executor,
                 plan_cache=plan_cache,
                 device=self.config.device,
                 slice_batch=self.config.slice_batch,
@@ -283,6 +328,19 @@ class CheckSession:
                 plan_seed=self.config.plan_seed,
             )
         return self._backend
+
+    def close(self) -> None:
+        """Release cluster connections (worker fleet, remote cache).
+
+        Idempotent; a closed session reconnects lazily if used again.
+        Purely-local sessions have nothing to close.
+        """
+        if self._executor is not None:
+            self._executor.close()
+        if self.cache is not None:
+            remote = self.cache.remote
+            if remote is not None:
+                remote.close()
 
     def reset(self) -> None:
         """Drop all shared backend state (managers, orders, paths)."""

@@ -96,6 +96,11 @@ STATUS_BY_CODE: Dict[str, int] = {
     "repro_error": 500,
     "deadline_exceeded": 504,
     "overloaded": 503,
+    # cluster peers out of reach: a retryable service-side condition,
+    # like overload — though the checking paths are fail-open and only
+    # surface these codes from fail-closed administrative calls
+    "remote_unavailable": 503,
+    "worker_lost": 503,
 }
 
 
@@ -746,8 +751,10 @@ class ReproService:
             yield line
 
     def _metrics_outcome(self) -> _Outcome:
+        from ..cluster import metrics as _cluster_metrics
+
         snapshot = self.stats.snapshot()
-        extra = render_counter_block({
+        counters = {
             "repro_checks_total": snapshot["checks"],
             "repro_check_wall_seconds_total": snapshot["wall_seconds"],
             "repro_check_cpu_seconds_total": snapshot["cpu_seconds"],
@@ -758,7 +765,11 @@ class ReproService:
             "repro_batched_slice_calls_total": snapshot[
                 "batched_slice_calls"
             ],
-        })
+        }
+        # fail-open cluster traffic: these counters are the only way a
+        # dead cache server or lost worker becomes visible
+        counters.update(_cluster_metrics.metric_counters())
+        extra = render_counter_block(counters)
         page = self.registry.render(extra=extra)
         return _Outcome(
             status=200,

@@ -49,6 +49,9 @@ PHASE_BY_SPAN = {
     "slices.chunk": "execute",
     "slices.loop": "execute",
     "slices.worker": "execute",
+    "slices.remote.dispatch": "execute",
+    "cache.remote.get": "cache",
+    "cache.remote.put": "cache",
 }
 
 #: Every phase label the histogram may carry (docs + tests import this).

@@ -190,7 +190,9 @@ class TestCheckRequest:
             self.request(mode="bogus")
 
     def test_engine_owned_config_keys_rejected(self):
-        for key in ("epsilon", "cache", "cache_dir"):
+        # cache_url/workers: a wire request must never be able to point
+        # computation or cache traffic at an attacker's host
+        for key in ("epsilon", "cache", "cache_dir", "cache_url", "workers"):
             with pytest.raises(InvalidRequestError, match="Engine-owned|top-level"):
                 self.request(config={key: 1})
 
@@ -205,7 +207,7 @@ class TestCheckRequest:
 
         names = {f.name for f in dataclasses.fields(CheckConfig)}
         assert set(CONFIG_OVERRIDE_FIELDS) == names - {
-            "epsilon", "cache", "cache_dir"
+            "epsilon", "cache", "cache_dir", "cache_url", "workers"
         }
 
     def test_resolve_config_applies_overrides(self):

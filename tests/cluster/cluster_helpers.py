@@ -1,0 +1,27 @@
+"""Helpers shared by the cluster tests (importable, unlike conftest)."""
+
+import io
+import socket
+
+from repro.cluster import CacheServer, ServerThread, WorkerServer
+
+BACKENDS = ("tdd", "dense", "einsum")
+
+
+def free_port() -> int:
+    """A port nothing is listening on (for dead-peer tests)."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def start_cache_server(**kwargs) -> ServerThread:
+    kwargs.setdefault("log_stream", io.StringIO())
+    return ServerThread(CacheServer(**kwargs)).start()
+
+
+def start_worker(**kwargs) -> ServerThread:
+    kwargs.setdefault("log_stream", io.StringIO())
+    return ServerThread(WorkerServer(**kwargs)).start()

@@ -1,0 +1,53 @@
+"""The cluster error codes are full taxonomy members: registry ↔
+service-status parity and wire round-trips."""
+
+import json
+
+import pytest
+
+from repro.api import CheckResponse
+from repro.api.errors import (
+    ERROR_CODES,
+    RemoteUnavailableError,
+    ReproError,
+    WorkerLostError,
+    error_from_code,
+)
+from repro.service import STATUS_BY_CODE
+
+
+def test_status_map_and_registry_agree_exactly():
+    assert set(STATUS_BY_CODE) == set(ERROR_CODES)
+
+
+def test_cluster_codes_are_registered():
+    assert ERROR_CODES["remote_unavailable"] is RemoteUnavailableError
+    assert ERROR_CODES["worker_lost"] is WorkerLostError
+
+
+def test_cluster_codes_map_to_service_unavailable():
+    assert STATUS_BY_CODE["remote_unavailable"] == 503
+    assert STATUS_BY_CODE["worker_lost"] == 503
+
+
+def test_worker_lost_is_a_remote_unavailable():
+    """Catching the cache-tier error also catches the executor's —
+    callers with one degradation policy need one except clause."""
+    error = WorkerLostError("gone")
+    assert isinstance(error, RemoteUnavailableError)
+    assert isinstance(error, ReproError)
+    assert error.code == "worker_lost"
+
+
+@pytest.mark.parametrize("code", ["remote_unavailable", "worker_lost"])
+def test_wire_round_trip(code):
+    error = error_from_code(
+        code, f"synthetic {code}", details={"url": "h:1"}
+    )
+    record = error.to_dict()
+    assert record["error_code"] == code
+    assert record["verdict"] == "ERROR"
+    parsed = CheckResponse.from_json(json.dumps(record))
+    assert parsed.error == error
+    assert parsed.error_code == code
+    assert type(parsed.error) is ERROR_CODES[code]

@@ -1,0 +1,206 @@
+"""Fault injection on the wire: damage degrades, it never raises.
+
+A hostile or broken peer — garbage magic, truncated frames, connections
+dropped mid-read, a server restarting under a running batch — must cost
+at most a recompute.  Nothing in this module is allowed to raise out of
+a cache lookup or a check.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro import CheckRequest, CircuitSpec, Engine, NoiseSpec
+from repro.api.errors import WorkerLostError
+from repro.cluster import RemoteStore, counters_snapshot
+from repro.cluster.protocol import (
+    MAGIC,
+    MAX_FRAME_BYTES,
+    OP_HIT,
+    OP_OK,
+    _HEADER,
+    encode_frame,
+)
+
+from cluster_helpers import start_cache_server
+
+
+class ScriptedServer:
+    """A TCP peer that answers each connection with scripted raw bytes.
+
+    Each accepted connection consumes one script entry: the server
+    reads whatever the client sent (best effort) and replies with the
+    entry's bytes verbatim — which lets tests inject every flavour of
+    frame damage without touching the real server.
+    """
+
+    def __init__(self, replies):
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.url = f"127.0.0.1:{self.sock.getsockname()[1]}"
+        self.replies = list(replies)
+        self.connections = 0
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        for reply in self.replies:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            try:
+                conn.settimeout(2.0)
+                try:
+                    conn.recv(1 << 16)
+                except OSError:
+                    pass
+                if reply:
+                    conn.sendall(reply)
+            finally:
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                conn.close()
+
+    def close(self):
+        self.sock.close()
+        self._thread.join(timeout=2.0)
+
+
+def scripted_store(server, **kwargs):
+    kwargs.setdefault("connect_timeout", 0.5)
+    kwargs.setdefault("timeout", 1.0)
+    kwargs.setdefault("retries", 1)
+    kwargs.setdefault("backoff", 0.0)
+    return RemoteStore(server.url, **kwargs)
+
+
+def library_request(seed=0):
+    return CheckRequest(
+        ideal=CircuitSpec.from_library("qft", num_qubits=3),
+        noise=NoiseSpec(noises=2, seed=seed),
+        epsilon=0.05,
+    )
+
+
+DAMAGE = {
+    "garbage-magic": b"XXXXX" + encode_frame(OP_HIT, b"data")[len(MAGIC):],
+    "truncated-header": encode_frame(OP_HIT, b"data")[:4],
+    "truncated-payload": encode_frame(OP_HIT, b"a-longer-payload")[:-5],
+    "oversize-length": _HEADER.pack(MAGIC, OP_HIT, MAX_FRAME_BYTES + 1),
+    "drop-without-reply": b"",
+}
+
+
+class TestCacheClientSurvivesDamage:
+    @pytest.mark.parametrize("kind", sorted(DAMAGE))
+    def test_get_degrades_to_miss(self, kind):
+        # one damaged reply per attempt (initial + one retry)
+        server = ScriptedServer([DAMAGE[kind]] * 2)
+        store = scripted_store(server)
+        try:
+            assert store.get("plan-abc") is None
+            counters = counters_snapshot()
+            assert counters["remote_failures"] == 1
+            assert counters["remote_cache_misses"] == 1
+        finally:
+            store.close()
+            server.close()
+        assert server.connections == 2  # retried on a fresh dial
+
+    @pytest.mark.parametrize("kind", sorted(DAMAGE))
+    def test_put_degrades_to_noop(self, kind):
+        server = ScriptedServer([DAMAGE[kind]] * 2)
+        store = scripted_store(server)
+        try:
+            store.put("plan-abc", b"payload")  # must not raise
+            counters = counters_snapshot()
+            assert counters["remote_failures"] == 1
+            assert counters["remote_cache_puts"] == 0
+        finally:
+            store.close()
+            server.close()
+
+    def test_damage_then_recovery_on_retry(self):
+        """One truncated reply, then a clean OK: the retry dial wins."""
+        server = ScriptedServer([
+            DAMAGE["truncated-payload"], encode_frame(OP_OK),
+        ])
+        store = scripted_store(server)
+        try:
+            store.put("plan-abc", b"payload")
+            counters = counters_snapshot()
+            assert counters["remote_cache_puts"] == 1
+            assert counters["remote_failures"] == 0  # attempt-level only
+        finally:
+            store.close()
+            server.close()
+
+    def test_unexpected_opcode_counts_as_miss(self):
+        """A well-framed but nonsensical reply is a miss, not an error."""
+        server = ScriptedServer([encode_frame(OP_OK, b"??")])
+        store = scripted_store(server, retries=0)
+        try:
+            assert store.get("plan-abc") is None
+            assert counters_snapshot()["remote_cache_misses"] == 1
+            assert counters_snapshot()["remote_failures"] == 0
+        finally:
+            store.close()
+            server.close()
+
+
+class TestWorkerClientSurvivesDamage:
+    @pytest.mark.parametrize("kind", sorted(DAMAGE))
+    def test_damage_is_a_lost_worker_not_a_crash(
+        self, kind, sliced_workload
+    ):
+        """Every damaged exchange surfaces as the one typed error the
+        dispatch loop knows how to handle."""
+        from repro.cluster import WorkerClient
+
+        network, plan = sliced_workload
+        server = ScriptedServer([DAMAGE[kind]])
+        client = WorkerClient(
+            server.url, connect_timeout=0.5, heartbeat_grace=1.0
+        )
+        try:
+            with pytest.raises(WorkerLostError):
+                client.run_chunk({}, "digest", b"blob", [{}], False)
+        finally:
+            client.close()
+            server.close()
+
+
+class TestServerRestartMidBatch:
+    def test_checks_ride_through_a_cache_server_restart(self, tmp_path):
+        """Batch of checks with the cache server dying and coming back
+        mid-way: every check succeeds; the outage is a counter."""
+        directory = tmp_path / "remote-tier"
+        server = start_cache_server(cache_dir=directory)
+        port = server.port
+        engine = Engine(
+            cache=True, cache_dir=str(tmp_path / "local"),
+            cache_url=server.url,
+        )
+        try:
+            first = engine.check(library_request(seed=0))
+            assert first.ok
+
+            server.stop()  # the fleet's cache tier vanishes mid-batch
+            during = engine.check(library_request(seed=1))
+            assert during.ok
+            assert counters_snapshot()["remote_failures"] > 0
+
+            server = start_cache_server(cache_dir=directory, port=port)
+            after = engine.check(library_request(seed=2))
+            assert after.ok
+            # the revived server sees traffic again (lazy re-dial)
+            assert engine.check(library_request(seed=0)).ok
+        finally:
+            engine.close()
+            server.stop()

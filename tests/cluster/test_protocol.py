@@ -1,0 +1,168 @@
+"""Wire-protocol unit tests: framing, addresses, key-value bodies."""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.cluster.protocol import (
+    MAGIC,
+    MAX_FRAME_BYTES,
+    OP_GET,
+    OP_HIT,
+    OP_PUT,
+    ProtocolError,
+    _HEADER,
+    encode_frame,
+    pack_kv,
+    parse_address,
+    read_frame_async,
+    recv_frame,
+    send_frame,
+    unpack_kv,
+)
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("example.org:7421") == ("example.org", 7421)
+
+    def test_tcp_scheme_and_whitespace(self):
+        assert parse_address("  tcp://10.0.0.5:80 ") == ("10.0.0.5", 80)
+
+    @pytest.mark.parametrize("bad", [
+        "no-port-here",
+        ":8080",
+        "host:",
+        "host:eighty",
+        "host:0",
+        "host:65536",
+    ])
+    def test_malformed_addresses_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+    def test_non_string_raises_type_error(self):
+        with pytest.raises(TypeError):
+            parse_address(("host", 80))
+
+
+class TestKeyValueBodies:
+    def test_round_trip(self):
+        body = pack_kv("plan-abc123", b"\x00\x01payload")
+        assert unpack_kv(body) == ("plan-abc123", b"\x00\x01payload")
+
+    def test_empty_payload(self):
+        assert unpack_kv(pack_kv("k", b"")) == ("k", b"")
+
+    @pytest.mark.parametrize("damaged", [
+        b"",                      # no key length at all
+        b"\x00",                  # half a key length
+        b"\x00\x05ab",            # promises 5 key bytes, carries 2
+    ])
+    def test_truncated_bodies_raise(self, damaged):
+        with pytest.raises(ProtocolError):
+            unpack_kv(damaged)
+
+
+class TestSyncFraming:
+    def pair(self):
+        return socket.socketpair()
+
+    def test_round_trip(self):
+        a, b = self.pair()
+        try:
+            send_frame(a, OP_PUT, b"payload")
+            assert recv_frame(b) == (OP_PUT, b"payload")
+        finally:
+            a.close(), b.close()
+
+    def test_empty_payload_round_trip(self):
+        a, b = self.pair()
+        try:
+            send_frame(a, OP_GET)
+            assert recv_frame(b) == (OP_GET, b"")
+        finally:
+            a.close(), b.close()
+
+    def test_garbage_magic_raises(self):
+        a, b = self.pair()
+        try:
+            frame = bytearray(encode_frame(OP_GET, b"x"))
+            frame[:len(MAGIC)] = b"XXXXX"
+            a.sendall(bytes(frame))
+            with pytest.raises(ProtocolError, match="magic"):
+                recv_frame(b)
+        finally:
+            a.close(), b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = self.pair()
+        try:
+            a.sendall(encode_frame(OP_HIT, b"payload")[:-3])
+            a.close()
+            with pytest.raises(ProtocolError, match="closed"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversize_length_rejected_before_allocation(self):
+        a, b = self.pair()
+        try:
+            a.sendall(_HEADER.pack(MAGIC, OP_HIT, MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError, match="bound"):
+                recv_frame(b)
+        finally:
+            a.close(), b.close()
+
+    def test_send_on_closed_socket_raises_protocol_error(self):
+        a, b = self.pair()
+        a.close(), b.close()
+        with pytest.raises(ProtocolError):
+            send_frame(a, OP_GET, b"x" * (1 << 20))
+
+
+class TestAsyncFraming:
+    def read(self, raw: bytes):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            return await read_frame_async(reader)
+
+        return asyncio.run(go())
+
+    def test_round_trip(self):
+        assert self.read(encode_frame(OP_PUT, b"abc")) == (OP_PUT, b"abc")
+
+    def test_clean_eof_between_frames_is_eof_error(self):
+        with pytest.raises(EOFError):
+            self.read(b"")
+
+    def test_eof_inside_header_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="header"):
+            self.read(encode_frame(OP_PUT, b"abc")[:4])
+
+    def test_eof_inside_payload_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="payload"):
+            self.read(encode_frame(OP_PUT, b"abcdef")[:-2])
+
+    def test_garbage_magic_is_protocol_error(self):
+        frame = bytearray(encode_frame(OP_PUT, b"abc"))
+        frame[:len(MAGIC)] = b"NOTIT"
+        with pytest.raises(ProtocolError, match="magic"):
+            self.read(bytes(frame))
+
+    def test_oversize_length_is_protocol_error(self):
+        raw = _HEADER.pack(MAGIC, OP_PUT, MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="bound"):
+            self.read(raw)
+
+
+def test_encode_frame_bounds_payload_size():
+    class Huge(bytes):
+        def __len__(self):
+            return MAX_FRAME_BYTES + 1
+
+    with pytest.raises(ProtocolError, match="bound"):
+        encode_frame(OP_PUT, Huge())

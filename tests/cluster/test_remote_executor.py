@@ -1,0 +1,307 @@
+"""RemoteSliceExecutor against in-thread workers: agreement and faults.
+
+Worker *death* here is simulated with peers that are reachable but
+silent (heartbeat-grace expiry) or protocol-hostile — the in-process
+servers cannot ``os._exit`` without taking the test runner with them.
+Real process death (``REPRO_WORKER_EXIT_AFTER``) is exercised by the
+subprocess fleet in ``test_fleet.py``.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api.errors import WorkerLostError
+from repro.backends import get_backend
+from repro.cluster import (
+    RemoteSliceExecutor,
+    WorkerClient,
+    counters_snapshot,
+    resolve_workers,
+)
+from repro.parallel import SerialExecutor
+from repro.tensornet import ContractionStats, build_plan
+
+from cluster_helpers import BACKENDS, free_port, start_worker
+
+
+class SilentPeer:
+    """Accepts connections and never says a word — the straggler/dead
+    worker the heartbeat grace exists to detect."""
+
+    def __init__(self):
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.url = f"127.0.0.1:{self.sock.getsockname()[1]}"
+        self._conns = []
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            self._conns.append(conn)  # hold open, never reply
+
+    def close(self):
+        self.sock.close()
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+def remote(workers, **kwargs):
+    kwargs.setdefault("connect_timeout", 0.5)
+    kwargs.setdefault("heartbeat_grace", 1.0)
+    return RemoteSliceExecutor([w.url for w in workers], **kwargs)
+
+
+class TestConfiguration:
+    def test_needs_at_least_one_worker(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        with pytest.raises(ValueError, match="at least one worker"):
+            RemoteSliceExecutor(None)
+        with pytest.raises(ValueError, match="at least one worker"):
+            RemoteSliceExecutor(" , ")
+
+    def test_addresses_validated_eagerly(self):
+        with pytest.raises(ValueError):
+            RemoteSliceExecutor("host:notaport")
+
+    def test_resolve_workers_forms(self, monkeypatch):
+        assert resolve_workers("a:1, b:2,") == ("a:1", "b:2")
+        assert resolve_workers(["a:1", "b:2"]) == ("a:1", "b:2")
+        monkeypatch.setenv("REPRO_WORKERS", "c:3")
+        assert resolve_workers(None) == ("c:3",)
+        monkeypatch.setenv("REPRO_WORKERS", "")
+        assert resolve_workers(None) is None
+
+    def test_jobs_is_fleet_size(self, worker_pair):
+        executor = remote(worker_pair)
+        assert executor.jobs == 2
+        executor.close()
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_matches_serial_execution(
+        self, sliced_workload, reference, worker_pair, backend_name
+    ):
+        network, plan = sliced_workload
+        executor = remote(worker_pair, chunk_size=3)
+        try:
+            backend = get_backend(backend_name, executor=executor)
+            stats = ContractionStats()
+            value = backend.contract_scalar(network, plan=plan, stats=stats)
+        finally:
+            executor.close()
+        assert np.isclose(value, reference, atol=1e-9)
+        assert stats.slice_count == plan.num_slices()
+        counters = counters_snapshot()
+        assert counters["remote_chunks"] > 0
+        assert counters["remote_fallback_chunks"] == 0
+        assert counters["remote_workers_lost"] == 0
+
+    def test_deterministic_across_fleet_scheduling(
+        self, sliced_workload, worker_pair
+    ):
+        """The chunk-index-order reduce makes repeated runs bit-equal,
+        however the two workers raced."""
+        network, plan = sliced_workload
+        executor = remote(worker_pair, chunk_size=2)
+        try:
+            backend = get_backend("dense", executor=executor)
+            first = backend.contract_scalar(network, plan=plan)
+            second = backend.contract_scalar(network, plan=plan)
+        finally:
+            executor.close()
+        assert first == second
+
+    def test_single_slice_runs_inline(
+        self, sliced_workload, reference, worker_pair
+    ):
+        """An unsliced plan never touches the network."""
+        network, _ = sliced_workload
+        plan = build_plan(network)
+        assert plan.num_slices() == 1
+        executor = remote(worker_pair)
+        try:
+            backend = get_backend("dense", executor=executor)
+            value = backend.contract_scalar(network, plan=plan)
+        finally:
+            executor.close()
+        assert np.isclose(value, reference, atol=1e-9)
+        assert counters_snapshot()["remote_chunks"] == 0
+
+
+class TestPayloadInstallation:
+    def test_payload_ships_once_per_worker(
+        self, sliced_workload, worker_pair
+    ):
+        """Chunks after the first name only the digest; the single-entry
+        worker blob cache holds exactly the installed payload."""
+        network, plan = sliced_workload
+        executor = remote(worker_pair, chunk_size=1)  # many chunks
+        try:
+            backend = get_backend("dense", executor=executor)
+            backend.contract_scalar(network, plan=plan)
+            client_digests = [
+                client._installed for client in executor._clients
+            ]
+            assert all(len(seen) == 1 for seen in client_digests)
+            for worker in worker_pair:
+                assert len(worker.server._blobs) <= 1
+        finally:
+            executor.close()
+
+    def test_worker_restart_triggers_need_blob_reinstall(
+        self, sliced_workload, reference
+    ):
+        """A worker that forgot the payload (evicted by a different
+        contraction) answers NEED_BLOB and the client re-installs in
+        place — no failed chunk, no redispatch."""
+        worker = start_worker()
+        try:
+            network, plan = sliced_workload
+            other_plan = build_plan(network)  # a second, distinct digest
+            executor = RemoteSliceExecutor(
+                [worker.url], chunk_size=2, heartbeat_grace=5.0
+            )
+            try:
+                backend = get_backend("dense", executor=executor)
+                first = backend.contract_scalar(network, plan=plan)
+                # evict plan's blob from the single-entry worker cache
+                # by hand-installing a different digest
+                client = executor._clients[0]
+                client._install("deadbeef", b"not-a-real-payload")
+                # the client still believes plan's digest is installed:
+                # the worker must answer NEED_BLOB and recover
+                again = backend.contract_scalar(network, plan=plan)
+            finally:
+                executor.close()
+            assert first == again
+            assert np.isclose(first, reference, atol=1e-9)
+            assert counters_snapshot()["remote_workers_lost"] == 0
+        finally:
+            worker.stop()
+
+
+class TestWorkerLoss:
+    def test_silent_worker_chunks_redispatch_to_survivor(
+        self, sliced_workload, reference
+    ):
+        silent = SilentPeer()
+        healthy = start_worker()
+        try:
+            network, plan = sliced_workload
+            executor = RemoteSliceExecutor(
+                [silent.url, healthy.url],
+                chunk_size=2, connect_timeout=0.5, heartbeat_grace=0.6,
+            )
+            try:
+                backend = get_backend("dense", executor=executor)
+                value = backend.contract_scalar(network, plan=plan)
+            finally:
+                executor.close()
+            assert np.isclose(value, reference, atol=1e-9)
+            counters = counters_snapshot()
+            assert counters["remote_workers_lost"] == 1
+            assert counters["remote_redispatches"] == 1
+            assert counters["remote_fallback_chunks"] == 0
+        finally:
+            healthy.stop()
+            silent.close()
+
+    def test_empty_pool_falls_back_locally(self, sliced_workload, reference):
+        network, plan = sliced_workload
+        executor = RemoteSliceExecutor(
+            [f"127.0.0.1:{free_port()}"],
+            chunk_size=2, connect_timeout=0.25,
+        )
+        backend = get_backend("dense", executor=executor)
+        stats = ContractionStats()
+        value = backend.contract_scalar(network, plan=plan, stats=stats)
+        assert np.isclose(value, reference, atol=1e-9)
+        assert stats.slice_count == plan.num_slices()
+        counters = counters_snapshot()
+        assert counters["remote_workers_lost"] == 1
+        assert counters["remote_fallback_chunks"] > 0
+        assert counters["remote_chunks"] == 0
+
+    def test_local_fallback_disabled_surfaces_worker_lost(
+        self, sliced_workload
+    ):
+        network, plan = sliced_workload
+        executor = RemoteSliceExecutor(
+            [f"127.0.0.1:{free_port()}"],
+            chunk_size=2, connect_timeout=0.25, local_fallback=False,
+        )
+        backend = get_backend("dense", executor=executor)
+        with pytest.raises(WorkerLostError) as err:
+            backend.contract_scalar(network, plan=plan)
+        assert err.value.code == "worker_lost"
+
+    def test_worker_client_ping(self, worker_pair):
+        client = WorkerClient(worker_pair[0].url, connect_timeout=0.5)
+        assert client.ping()
+        client.close()
+        dead = WorkerClient(
+            f"127.0.0.1:{free_port()}", connect_timeout=0.25
+        )
+        assert not dead.ping()
+
+
+class TestStatsAndTracing:
+    def test_measured_stats_fold_back(self, sliced_workload, worker_pair):
+        network, plan = sliced_workload
+        executor = remote(worker_pair, chunk_size=3)
+        try:
+            backend = get_backend("tdd", executor=executor)
+            stats = ContractionStats()
+            backend.contract_scalar(network, plan=plan, stats=stats)
+        finally:
+            executor.close()
+        serial_stats = ContractionStats()
+        get_backend("tdd", executor=SerialExecutor()).contract_scalar(
+            network, plan=plan, stats=serial_stats
+        )
+        assert stats.slice_count == serial_stats.slice_count
+        assert stats.predicted_cost == serial_stats.predicted_cost
+
+    def test_remote_spans_fold_into_the_trace(
+        self, sliced_workload, worker_pair
+    ):
+        from repro import trace
+
+        network, plan = sliced_workload
+        executor = remote(worker_pair, chunk_size=3)
+        recorder = trace.TraceRecorder()
+        try:
+            backend = get_backend("dense", executor=executor)
+            with trace.recording(recorder):
+                backend.contract_scalar(network, plan=plan)
+        finally:
+            executor.close()
+        names = [span.name for span in recorder.spans]
+        assert "slices.remote.dispatch" in names
+        dispatch = next(
+            span for span in recorder.spans
+            if span.name == "slices.remote.dispatch"
+        )
+        assert dispatch.attributes["workers"] == 2
+        # worker-side chunk spans folded back with their origin labelled
+        chunk_spans = [
+            span for span in recorder.spans
+            if "worker" in span.attributes and "chunk" in span.attributes
+        ]
+        assert chunk_spans
+        assert all(
+            span.attributes["worker"] != "local" for span in chunk_spans
+        )

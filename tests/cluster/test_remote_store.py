@@ -1,0 +1,214 @@
+"""RemoteStore against a live in-thread cache server, and fail-open.
+
+The contract under test: a reachable server behaves like any other
+:class:`~repro.cache.store.CacheStore` tier; an unreachable one turns
+every ``get`` into a miss and every ``put`` into a no-op — a check must
+succeed at local speed with the cache fleet completely down, and the
+only trace is ``repro_remote_failures_total``.
+"""
+
+import pytest
+
+from repro import CheckRequest, CircuitSpec, Engine, NoiseSpec
+from repro.api.errors import RemoteUnavailableError
+from repro.cache import CheckCache
+from repro.cluster import (
+    RemoteStore,
+    counters_snapshot,
+    metric_counters,
+    resolve_cache_url,
+)
+
+from cluster_helpers import free_port, start_cache_server
+
+
+def library_request(seed=0, **config):
+    return CheckRequest(
+        ideal=CircuitSpec.from_library("qft", num_qubits=3),
+        noise=NoiseSpec(noises=2, seed=seed),
+        epsilon=0.05,
+        config=config,
+    )
+
+
+class TestRoundTrip:
+    def test_get_put_hit_miss_and_stats(self, cache_server):
+        store = RemoteStore(cache_server.url)
+        try:
+            assert store.get("plan-aa11") is None
+            store.put("plan-aa11", b"blob-bytes")
+            assert store.get("plan-aa11") == b"blob-bytes"
+
+            stats = store.stats()
+            assert stats.store == "remote"
+            assert stats.entries == 1
+            # server-side size includes the disk tier's framing overhead
+            assert stats.total_bytes >= len(b"blob-bytes")
+            assert (stats.hits, stats.misses) == (1, 1)
+            assert stats.directory == cache_server.url
+            assert store.directory is None  # no local path to report
+
+            counters = counters_snapshot()
+            assert counters["remote_cache_hits"] == 1
+            assert counters["remote_cache_misses"] == 1
+            assert counters["remote_cache_puts"] == 1
+            assert counters["remote_failures"] == 0
+        finally:
+            store.close()
+
+    def test_ping_and_server_request_counters(self, cache_server):
+        store = RemoteStore(cache_server.url)
+        try:
+            assert store.ping()
+            store.get("result-bb22")
+            record = store.server_stats()
+            assert record["requests"]["get"] == 1
+            assert record["requests"]["ping"] == 1
+            assert record["requests"]["errors"] == 0
+        finally:
+            store.close()
+
+    def test_clear_and_prune(self, cache_server):
+        store = RemoteStore(cache_server.url)
+        try:
+            store.put("plan-one", b"x" * 100)
+            store.put("plan-two", b"y" * 100)
+            assert store.prune(150) == 1
+            assert store.stats().entries == 1
+            assert store.clear() == 1
+            assert store.stats().entries == 0
+            with pytest.raises(ValueError):
+                store.prune(-1)
+        finally:
+            store.close()
+
+    def test_hostile_keys_never_reach_the_disk(self, cache_server, tmp_path):
+        """Path-traversal-shaped keys are rejected server-side."""
+        store = RemoteStore(cache_server.url)
+        try:
+            store.put("../../../etc/passwd", b"evil")  # swallowed
+            assert store.get("../../../etc/passwd") is None
+            assert store.stats().entries == 0
+            assert not (tmp_path / "etc").exists()
+        finally:
+            store.close()
+
+
+class TestTieredComposition:
+    def test_remote_tier_shares_entries_across_local_caches(
+        self, cache_server, tmp_path
+    ):
+        one = CheckCache.open(tmp_path / "host-a", cache_url=cache_server.url)
+        assert one.remote is not None
+        one.store.put("result-shared", b"payload")
+
+        # a different machine (fresh local tiers, same server)
+        two = CheckCache.open(tmp_path / "host-b", cache_url=cache_server.url)
+        assert two.store.get("result-shared") == b"payload"
+        # ... and the hit was promoted into host-b's local tiers
+        tier_stats = two.store.stats().tiers
+        assert [t.store for t in tier_stats] == ["memory", "disk", "remote"]
+        assert all(t.entries == 1 for t in tier_stats)
+
+    def test_env_resolution(self, cache_server, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_URL", cache_server.url)
+        cache = CheckCache.open(tmp_path / "local")
+        assert cache.cache_url == cache_server.url
+        assert cache.remote is not None
+        assert cache.plans.cache_url == cache_server.url
+
+    def test_empty_string_forces_local_despite_env(
+        self, cache_server, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_URL", cache_server.url)
+        cache = CheckCache.open(tmp_path / "local", cache_url="")
+        assert cache.remote is None
+        assert cache.cache_url is None
+
+    def test_resolve_cache_url_blank_values(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_URL", raising=False)
+        assert resolve_cache_url(None) is None
+        assert resolve_cache_url("  ") is None
+        monkeypatch.setenv("REPRO_CACHE_URL", " host:1234 ")
+        assert resolve_cache_url(None) == "host:1234"
+
+
+class TestFailOpen:
+    def test_dead_server_degrades_to_miss_and_noop(self):
+        store = RemoteStore(
+            f"127.0.0.1:{free_port()}",
+            connect_timeout=0.25, retries=0,
+        )
+        assert store.get("plan-aa") is None
+        store.put("plan-aa", b"x")  # must not raise
+        assert not store.ping()
+        counters = counters_snapshot()
+        assert counters["remote_failures"] == 3
+        assert counters["remote_cache_misses"] == 1
+        assert metric_counters()["repro_remote_failures_total"] == 3
+
+    def test_fail_closed_raises_typed_error(self):
+        store = RemoteStore(
+            f"127.0.0.1:{free_port()}",
+            connect_timeout=0.25, retries=0, fail_open=False,
+        )
+        with pytest.raises(RemoteUnavailableError) as err:
+            store.stats()
+        assert err.value.code == "remote_unavailable"
+        assert err.value.details["url"] == store.url
+
+    def test_retry_redials_across_a_server_restart(self, tmp_path):
+        directory = tmp_path / "remote-tier"
+        first = start_cache_server(cache_dir=directory)
+        port = first.port
+        store = RemoteStore(first.url)  # default: one retry
+        try:
+            store.put("plan-persist", b"payload")
+            first.stop()
+            # same port, fresh process-equivalent; the client's socket
+            # is now stale and the first attempt fails
+            second = start_cache_server(cache_dir=directory, port=port)
+            try:
+                assert store.get("plan-persist") == b"payload"
+            finally:
+                second.stop()
+        finally:
+            store.close()
+
+    def test_check_succeeds_with_cache_fleet_down(self):
+        """End to end: a dead cache server costs a counter, not a check."""
+        engine = Engine(
+            cache=True, cache_url=f"127.0.0.1:{free_port()}"
+        )
+        try:
+            response = engine.check(library_request())
+        finally:
+            engine.close()
+        assert response.ok
+        assert response.equivalent
+        assert metric_counters()["repro_remote_failures_total"] > 0
+
+    def test_warm_check_hits_the_remote_tier(self, cache_server, tmp_path):
+        """Two engines, separate local caches, one shared server: the
+        second engine's identical check is served from the remote tier."""
+        request = library_request()
+        cold = Engine(
+            cache=True, cache_dir=str(tmp_path / "a"),
+            cache_url=cache_server.url,
+        )
+        try:
+            first = cold.check(request)
+        finally:
+            cold.close()
+        warm = Engine(
+            cache=True, cache_dir=str(tmp_path / "b"),
+            cache_url=cache_server.url,
+        )
+        try:
+            second = warm.check(request)
+        finally:
+            warm.close()
+        assert second.equivalent == first.equivalent
+        assert second.fidelity == first.fidelity
+        assert second.stats.result_cache_hit == 1
+        assert counters_snapshot()["remote_cache_hits"] >= 1

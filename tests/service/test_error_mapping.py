@@ -28,6 +28,8 @@ EXPECTED_STATUS = {
     "job_not_found": 404,
     "deadline_exceeded": 504,
     "overloaded": 503,
+    "remote_unavailable": 503,
+    "worker_lost": 503,
 }
 
 
